@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Ablation of the design choices DESIGN.md calls out (not a paper figure;
+ * it isolates why the Figure 10 gaps appear):
+ *
+ *  1. software pipelining: cp.async stages 1/2/3/4;
+ *  2. global-memory weight transformation (Section 7.2) vs the bitwise
+ *     fallback on untransformed weights (Section 7.1);
+ *  3. vectorized LOP3/PRMT casting vs per-element fallback;
+ *  4. automatic vectorization + ldmatrix selection on/off.
+ *
+ * Workload: u4 weights, N=57344, K=8192 (the Llama-70B gate/up shape),
+ * BS in {1, 16}, simulated L40S.
+ */
+#include "bench_common.h"
+#include "sim/gpu_spec.h"
+
+using namespace tilus;
+using namespace tilus::bench;
+
+namespace {
+
+kernels::MatmulConfig
+baseConfig(int64_t bs)
+{
+    kernels::MatmulConfig cfg;
+    cfg.wdtype = uint4();
+    cfg.n = 57344;
+    cfg.k = 8192;
+    cfg.group_size = 128;
+    if (bs >= 16) {
+        cfg.bm = 16;
+        cfg.bn = 256;
+        cfg.bk = 64;
+        cfg.warp_m = 1;
+        cfg.warp_n = 2;
+        cfg.use_tensor_cores = true;
+    } else {
+        cfg.bm = 1;
+        cfg.bn = 512;
+        cfg.bk = 64;
+        cfg.simt_warps = 4;
+        cfg.use_tensor_cores = false;
+    }
+    cfg.stages = 2;
+    return cfg;
+}
+
+void
+report(runtime::Runtime &rt, const char *label,
+       const kernels::MatmulConfig &cfg, int64_t bs,
+       const compiler::CompileOptions &opts, double reference_us)
+{
+    if (!cfg.valid()) {
+        std::printf("  %-34s %9s\n", label, "(config infeasible)");
+        return;
+    }
+    auto est = autotune::estimateConfig(rt, cfg, bs, opts);
+    std::printf("  %-34s %9.1f us  (%.2fx of baseline)\n", label,
+                est.total_us, est.total_us / reference_us);
+}
+
+} // namespace
+
+int
+main()
+{
+    runtime::Runtime rt(sim::l40s());
+    printHeader("Ablation: Tilus design choices (u4, N=57344, K=8192, "
+                "L40S, simulated)");
+
+    for (int64_t bs : {int64_t(1), int64_t(16)}) {
+        std::printf("\n-- batch size %ld --\n", long(bs));
+        kernels::MatmulConfig base = baseConfig(bs);
+        double baseline =
+            autotune::estimateConfig(rt, base, bs).total_us;
+        std::printf("  %-34s %9.1f us\n", "baseline (stages=2, fast paths)",
+                    baseline);
+
+        // 1. Pipelining depth.
+        for (int stages : {1, 3, 4}) {
+            kernels::MatmulConfig cfg = base;
+            cfg.stages = stages;
+            if (!cfg.valid())
+                continue;
+            std::string label =
+                "pipeline stages = " + std::to_string(stages);
+            report(rt, label.c_str(), cfg, bs, {}, baseline);
+        }
+        {
+            compiler::CompileOptions opts;
+            opts.forbid_cp_async = true;
+            report(rt, "no cp.async (Ladder-style, Fig 1b)", base, bs,
+                   opts, baseline);
+        }
+
+        // 2. Weight layout transformation.
+        {
+            kernels::MatmulConfig cfg = base;
+            cfg.transform_weights = false;
+            report(rt, "untransformed weights (Sec 7.1)", cfg, bs, {},
+                   baseline);
+        }
+        {
+            kernels::MatmulConfig cfg = base;
+            cfg.convert_via_smem = true;
+            report(rt, "smem layout conversion (Triton)", cfg, bs, {},
+                   baseline);
+        }
+
+        // 3. Casting strategy.
+        {
+            compiler::CompileOptions opts;
+            opts.force_scalar_cast = true;
+            report(rt, "per-element cast fallback", base, bs, opts,
+                   baseline);
+        }
+
+        // 4. Vectorization / instruction selection.
+        {
+            compiler::CompileOptions opts;
+            opts.enable_vectorize = false;
+            opts.enable_ldmatrix = false;
+            report(rt, "no vectorize / no ldmatrix", base, bs, opts,
+                   baseline);
+        }
+    }
+    return 0;
+}

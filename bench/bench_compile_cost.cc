@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Compile-cost benchmark backing the Section 9.3 claims: "around 200
+ * configurations per operator, and it takes around one minute to
+ * compile". Uses google-benchmark to measure the real wall time of
+ * building + compiling one configuration and of a full tuning pass; also
+ * reports the enumeration size and the kernel-cache hit behaviour.
+ */
+#include <benchmark/benchmark.h>
+
+#include "autotune/tuner.h"
+#include "sim/gpu_spec.h"
+
+using namespace tilus;
+
+namespace {
+
+kernels::MatmulConfig
+sampleConfig()
+{
+    kernels::MatmulConfig cfg;
+    cfg.wdtype = uint4();
+    cfg.n = 57344;
+    cfg.k = 8192;
+    cfg.bm = 16;
+    cfg.bn = 256;
+    cfg.bk = 64;
+    cfg.warp_n = 2;
+    cfg.stages = 2;
+    cfg.group_size = 128;
+    return cfg;
+}
+
+void
+BM_BuildProgram(benchmark::State &state)
+{
+    kernels::MatmulConfig cfg = sampleConfig();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kernels::buildMatmul(cfg));
+}
+BENCHMARK(BM_BuildProgram);
+
+void
+BM_CompileKernel(benchmark::State &state)
+{
+    kernels::MatmulConfig cfg = sampleConfig();
+    kernels::MatmulBundle bundle = kernels::buildMatmul(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            compiler::compile(bundle.main_program, {}));
+}
+BENCHMARK(BM_CompileKernel);
+
+void
+BM_EstimateConfig(benchmark::State &state)
+{
+    runtime::Runtime rt(sim::l40s());
+    kernels::MatmulConfig cfg = sampleConfig();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(autotune::estimateConfig(rt, cfg, 16));
+}
+BENCHMARK(BM_EstimateConfig);
+
+void
+BM_FullOperatorTuning(benchmark::State &state)
+{
+    // One full operator tuning pass (the paper's "~200 configurations,
+    // ~1 minute" claim; kernels are cached across iterations).
+    for (auto _ : state) {
+        runtime::Runtime rt(sim::l40s());
+        autotune::TuneResult result =
+            autotune::tune(rt, uint4(), 57344, 8192, 16);
+        state.counters["configs"] =
+            static_cast<double>(result.candidates_tried);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_FullOperatorTuning)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void
+BM_KernelCacheHit(benchmark::State &state)
+{
+    runtime::Runtime rt(sim::l40s());
+    kernels::MatmulConfig cfg = sampleConfig();
+    kernels::MatmulBundle bundle = kernels::buildMatmul(cfg);
+    rt.getOrCompile(bundle.main_program, {});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            rt.getOrCompile(bundle.main_program, {}));
+}
+BENCHMARK(BM_KernelCacheHit);
+
+} // namespace
+
+BENCHMARK_MAIN();

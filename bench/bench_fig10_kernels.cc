@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 10: speedup of low-precision kernels (Triton, QuantLLM, Ladder,
+ * Marlin, Tilus) over the cuBLAS f16 kernel, for weight types u8, f6, u4,
+ * i4, u2, u1 on the three Llama-3.3-70B matmul shapes, at batch sizes 1
+ * and 16, on the simulated L40S.
+ *
+ * Expected shape (paper): Tilus beats every baseline on its supported
+ * types; speedups grow as the weight narrows (u1 ~ 7-11x at both batch
+ * sizes); Ladder collapses at BS=16 (no software pipelining); Triton
+ * trails everywhere (smem layout conversion); Marlin is close to Tilus
+ * on 4-bit.
+ */
+#include "bench_common.h"
+#include "sim/gpu_spec.h"
+
+using namespace tilus;
+using namespace tilus::bench;
+
+namespace {
+
+struct Workload
+{
+    const char *label;
+    int64_t n, k;
+};
+
+} // namespace
+
+int
+main()
+{
+    runtime::Runtime rt(sim::l40s());
+    const Workload workloads[] = {
+        {"BS-8192-8192", 8192, 8192},
+        {"BS-8192-28672", 8192, 28672},
+        {"BS-57344-8192", 57344, 8192},
+    };
+    const int64_t group_size = 128;
+
+    printHeader("Figure 10: low-precision kernel speedup over cuBLAS f16 "
+                "(L40S, simulated)");
+    for (int64_t bs : {int64_t(1), int64_t(16)}) {
+        std::printf("\n-- batch size %ld --\n", long(bs));
+        std::printf("%-16s %-6s", "workload", "dtype");
+        for (auto system : figure10Systems())
+            std::printf(" %10s", baselines::systemName(system));
+        std::printf("   (cuBLAS ms)\n");
+
+        for (const Workload &w : workloads) {
+            double cublas_us =
+                baselines::evaluateMatmul(baselines::System::kCublas, rt,
+                                          float16(), w.n, w.k, bs)
+                    .latency_us;
+            for (const DataType &dtype : figure10Types()) {
+                std::printf("%-16s %-6s", w.label,
+                            dtype.shortName().c_str());
+                for (auto system : figure10Systems()) {
+                    auto result = baselines::evaluateMatmul(
+                        system, rt, dtype, w.n, w.k, bs, group_size);
+                    if (result.supported) {
+                        std::printf(" %10s",
+                                    fmtSpeedup(cublas_us /
+                                               result.latency_us)
+                                        .c_str());
+                    } else {
+                        std::printf(" %10s", "-");
+                    }
+                }
+                std::printf("   %10s\n", fmtMs(cublas_us).c_str());
+            }
+        }
+    }
+    std::printf("\nPaper reference (BS-57344-8192, BS=16, Tilus): "
+                "u8 2.1x, f6 2.8x, u4 3.8x, i4 4.0x, u2 6.9x, u1 11.4x\n");
+    return 0;
+}

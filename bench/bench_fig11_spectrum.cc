@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 11: the full weight-type spectrum — speedup of Tilus quantized
+ * matmul over cuBLAS f16 for uint1..uint8, int2..int8, float3..float8
+ * (representative e/m splits), at BS=16, K=8192, N=57344 on the
+ * simulated L40S.
+ *
+ * Expected shape (paper): monotone growth from ~2.1x at 8 bits to ~9.4x
+ * at 1 bit; int/uint/float of equal width within noise of each other.
+ */
+#include <map>
+
+#include "bench_common.h"
+#include "sim/gpu_spec.h"
+
+using namespace tilus;
+using namespace tilus::bench;
+
+int
+main()
+{
+    runtime::Runtime rt(sim::l40s());
+    const int64_t n = 57344, k = 8192, bs = 16, group = 128;
+
+    printHeader("Figure 11: full-spectrum quantized matmul speedup over "
+                "cuBLAS f16 (BS=16, K=8192, N=57344, L40S, simulated)");
+
+    double cublas_us =
+        baselines::evaluateMatmul(baselines::System::kCublas, rt,
+                                  float16(), n, k, bs)
+            .latency_us;
+    std::printf("cuBLAS f16 latency: %s ms\n\n", fmtMs(cublas_us).c_str());
+
+    std::map<std::pair<int, int>, double> grid; // (row, bits) -> speedup
+    auto row_of = [](const DataType &dt) {
+        if (dt.isUInt())
+            return 0;
+        if (dt.isInt())
+            return 1;
+        return 2;
+    };
+    for (const DataType &dtype : fullWeightSpectrum()) {
+        auto result = baselines::evaluateMatmul(
+            baselines::System::kTilus, rt, dtype, n, k, bs, group);
+        grid[{row_of(dtype), dtype.bits()}] =
+            cublas_us / result.latency_us;
+    }
+
+    const char *rows[3] = {"uint", "int", "float"};
+    std::printf("%-6s", "kind");
+    for (int bits = 8; bits >= 1; --bits)
+        std::printf(" %6d", bits);
+    std::printf("\n");
+    for (int r = 0; r < 3; ++r) {
+        std::printf("%-6s", rows[r]);
+        for (int bits = 8; bits >= 1; --bits) {
+            auto it = grid.find({r, bits});
+            if (it == grid.end())
+                std::printf(" %6s", "-");
+            else
+                std::printf(" %5.1fx", it->second);
+        }
+        std::printf("\n");
+    }
+    std::printf("\nPaper reference (uint row): 2.1x 2.4x 2.8x 3.3x 3.8x "
+                "5.0x 6.3x 9.4x\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * End-to-end LLM serving on the simulated GPU: serve Llama-3.3-70B on an
+ * L40S under different weight formats and systems, reporting footprint,
+ * decode latency (continuous batching), and prefill latency — the
+ * scenario motivating the whole paper. f16 and u8 exceed the 48 GiB
+ * device and OOM; u4/u2 fit, and Tilus serves them fastest.
+ */
+#include <cstdio>
+
+#include "llm/engine.h"
+#include "sim/gpu_spec.h"
+
+using namespace tilus;
+
+int
+main()
+{
+    const llm::ModelConfig model = llm::llama33_70b();
+    std::printf("model: %s (%ld layers, hidden %ld, ffn %ld)\n",
+                model.name.c_str(), long(model.layers),
+                long(model.hidden), long(model.ffn));
+
+    struct Setup
+    {
+        const char *label;
+        baselines::System system;
+        DataType wdtype;
+    };
+    const Setup setups[] = {
+        {"vLLM f16", baselines::System::kCublas, float16()},
+        {"Tilus u8", baselines::System::kTilus, uint8()},
+        {"Tilus u4", baselines::System::kTilus, uint4()},
+        {"Tilus i5", baselines::System::kTilus, int5()},
+        {"Tilus u2", baselines::System::kTilus, uint2()},
+    };
+
+    std::printf("\n%-10s %12s %14s %14s %16s\n", "setup",
+                "weights(GiB)", "decode-1 (ms)", "decode-16 (ms)",
+                "prefill-2048 (ms)");
+    for (const Setup &setup : setups) {
+        double gib = double(model.footprintBytes(setup.wdtype, 128, 0)) /
+                     (1024.0 * 1024 * 1024);
+        std::printf("%-10s %12.1f", setup.label, gib);
+        runtime::Runtime rt(sim::l40s());
+        llm::EngineOptions options;
+        options.system = setup.system;
+        options.wdtype = setup.wdtype;
+        try {
+            llm::ServingEngine engine(rt, model, options);
+            std::printf(" %14.1f %14.1f %16.0f\n", engine.decodeMs(1),
+                        engine.decodeMs(16), engine.prefillMs(2048));
+        } catch (const OutOfMemoryError &) {
+            std::printf(" %14s %14s %16s\n", "OOM", "OOM", "OOM");
+        }
+    }
+    std::printf("\n5-7 bit formats (i5 above) recover accuracy lost by "
+                "4-bit quantization while keeping most of the speedup — "
+                "the gap Tilus closes (Section 1).\n");
+    return 0;
+}

@@ -1,0 +1,205 @@
+#include "autotune/tuner.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "sim/interpreter.h"
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace tilus {
+namespace autotune {
+
+namespace {
+
+/** full = s1 + (s2 - s1) * extra (all counters are loop-linear). */
+sim::SimStats
+extrapolate(const sim::SimStats &s1, const sim::SimStats &s2, double extra)
+{
+    sim::SimStats out = s1;
+    auto lin = [&](int64_t a, int64_t b) {
+        return a + static_cast<int64_t>(
+                       std::llround(static_cast<double>(b - a) * extra));
+    };
+    out.global_load_bytes = lin(s1.global_load_bytes, s2.global_load_bytes);
+    out.global_store_bytes =
+        lin(s1.global_store_bytes, s2.global_store_bytes);
+    out.cp_async_bytes = lin(s1.cp_async_bytes, s2.cp_async_bytes);
+    out.global_sectors = lin(s1.global_sectors, s2.global_sectors);
+    out.ldg_ops = lin(s1.ldg_ops, s2.ldg_ops);
+    out.stg_ops = lin(s1.stg_ops, s2.stg_ops);
+    out.bit_extract_ops = lin(s1.bit_extract_ops, s2.bit_extract_ops);
+    for (const auto &[id, b2] : s2.load_bytes_by_global) {
+        int64_t b1 = 0;
+        auto it = s1.load_bytes_by_global.find(id);
+        if (it != s1.load_bytes_by_global.end())
+            b1 = it->second;
+        out.load_bytes_by_global[id] = lin(b1, b2);
+    }
+    for (const auto &[id, b2] : s2.store_bytes_by_global) {
+        int64_t b1 = 0;
+        auto it = s1.store_bytes_by_global.find(id);
+        if (it != s1.store_bytes_by_global.end())
+            b1 = it->second;
+        out.store_bytes_by_global[id] = lin(b1, b2);
+    }
+    out.smem_load_bytes = lin(s1.smem_load_bytes, s2.smem_load_bytes);
+    out.smem_store_bytes = lin(s1.smem_store_bytes, s2.smem_store_bytes);
+    out.lds_ops = lin(s1.lds_ops, s2.lds_ops);
+    out.sts_ops = lin(s1.sts_ops, s2.sts_ops);
+    out.ldmatrix_ops = lin(s1.ldmatrix_ops, s2.ldmatrix_ops);
+    out.mma_ops = lin(s1.mma_ops, s2.mma_ops);
+    out.mma_flops = lin(s1.mma_flops, s2.mma_flops);
+    out.simt_fma = lin(s1.simt_fma, s2.simt_fma);
+    out.alu_elt_ops = lin(s1.alu_elt_ops, s2.alu_elt_ops);
+    out.cast_vec_elems = lin(s1.cast_vec_elems, s2.cast_vec_elems);
+    out.cast_scalar_elems =
+        lin(s1.cast_scalar_elems, s2.cast_scalar_elems);
+    out.bar_syncs = lin(s1.bar_syncs, s2.bar_syncs);
+    out.cp_commits = lin(s1.cp_commits, s2.cp_commits);
+    out.max_groups_in_flight =
+        std::max(s1.max_groups_in_flight, s2.max_groups_in_flight);
+    out.overlapped = s1.overlapped || s2.overlapped;
+    return out;
+}
+
+/** Bind every kernel parameter: the token count by name, pointers to 0. */
+std::vector<runtime::KernelArg>
+ghostArgs(const lir::Kernel &kernel, int64_t m)
+{
+    std::vector<runtime::KernelArg> args;
+    for (const ir::Var &p : kernel.params)
+        args.push_back({p, p.name() == "m" ? m : 0});
+    return args;
+}
+
+ir::Env
+ghostEnv(const lir::Kernel &kernel, int64_t m)
+{
+    ir::Env env;
+    for (const ir::Var &p : kernel.params)
+        env.bind(p, p.name() == "m" ? m : 0);
+    return env;
+}
+
+} // namespace
+
+sim::LatencyBreakdown
+estimateConfig(runtime::Runtime &rt, const kernels::MatmulConfig &config,
+               int64_t m, const compiler::CompileOptions &opts,
+               const sim::PerfTraits &traits)
+{
+    TILUS_FATAL_IF(!config.valid(),
+                   "estimateConfig: invalid config " << config.name());
+    // Probe instances with 1 and 2 outer pipeline iterations.
+    auto probe = [&](int outers) {
+        kernels::MatmulConfig p = config;
+        p.k = config.bk * config.stages * outers;
+        if (p.group_size > 0)
+            p.group_size = p.bk;
+        kernels::MatmulBundle bundle = kernels::buildMatmul(p);
+        const lir::Kernel &kernel =
+            rt.getOrCompile(bundle.main_program, opts);
+        return sim::traceOneBlock(kernel, ghostEnv(kernel, m));
+    };
+    sim::SimStats s1 = probe(1);
+    sim::SimStats s2 = probe(2);
+
+    kernels::MatmulBundle full = kernels::buildMatmul(config);
+    const lir::Kernel &kernel = rt.getOrCompile(full.main_program, opts);
+    const double full_outers =
+        static_cast<double>(config.k / config.bk) / config.stages;
+    sim::SimStats stats = extrapolate(s1, s2, full_outers - 1.0);
+    ir::Env env = ghostEnv(kernel, m);
+    return sim::estimateLatency(kernel, stats, env, rt.spec(), traits);
+}
+
+std::vector<kernels::MatmulConfig>
+enumerateConfigs(DataType wdtype, int64_t n, int64_t k, int64_t m,
+                 const TuneSpace &space)
+{
+    std::vector<kernels::MatmulConfig> out;
+    auto consider = [&](kernels::MatmulConfig cfg) {
+        if (cfg.valid())
+            out.push_back(cfg);
+    };
+    if (m >= 9) {
+        for (int64_t bm : space.bm_tc) {
+            if (bm > roundUp(std::max<int64_t>(m, 16), 16))
+                continue;
+            // Prefill-scale problems only benefit from the largest block
+            // tiles; pruning the rest keeps tuning cost near-constant
+            // across the batch spectrum.
+            if (m >= 1024 && bm < 64)
+                continue;
+            for (int64_t bn : space.bn)
+                for (int64_t bk : space.bk)
+                    for (int wm : space.warps_m)
+                        for (int wn : space.warps_n)
+                            for (int st : space.stages) {
+                                kernels::MatmulConfig cfg;
+                                cfg.wdtype = wdtype;
+                                cfg.n = n;
+                                cfg.k = k;
+                                cfg.bm = bm;
+                                cfg.bn = bn;
+                                cfg.bk = bk;
+                                cfg.warp_m = wm;
+                                cfg.warp_n = wn;
+                                cfg.stages = st;
+                                cfg.use_tensor_cores = true;
+                                consider(cfg);
+                            }
+        }
+    }
+    if (m < 16) {
+        for (int64_t bn : space.bn) {
+            for (int64_t bk : space.bk)
+                for (int sw : space.simt_warps)
+                    for (int st : space.stages) {
+                        kernels::MatmulConfig cfg;
+                        cfg.wdtype = wdtype;
+                        cfg.n = n;
+                        cfg.k = k;
+                        cfg.bm = std::min<int64_t>(m, 8);
+                        cfg.bn = bn * 2; // SIMT favors wider column tiles
+                        cfg.bk = bk;
+                        cfg.simt_warps = sw;
+                        cfg.stages = st;
+                        cfg.use_tensor_cores = false;
+                        consider(cfg);
+                    }
+        }
+    }
+    return out;
+}
+
+TuneResult
+tune(runtime::Runtime &rt, DataType wdtype, int64_t n, int64_t k,
+     int64_t m, const compiler::CompileOptions &opts,
+     const sim::PerfTraits &traits, const TuneSpace &space)
+{
+    std::vector<kernels::MatmulConfig> candidates =
+        enumerateConfigs(wdtype, n, k, m, space);
+    TILUS_FATAL_IF(candidates.empty(),
+                   "no valid configuration for " << wdtype.name() << " n="
+                                                 << n << " k=" << k
+                                                 << " m=" << m);
+    TuneResult best;
+    best.latency.total_us = std::numeric_limits<double>::infinity();
+    best.candidates_tried = static_cast<int>(candidates.size());
+    for (const kernels::MatmulConfig &cfg : candidates) {
+        sim::LatencyBreakdown est = estimateConfig(rt, cfg, m, opts,
+                                                   traits);
+        if (est.total_us < best.latency.total_us) {
+            best.latency = est;
+            best.config = cfg;
+        }
+    }
+    return best;
+}
+
+} // namespace autotune
+} // namespace tilus

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The auto-tuner (Section 9.2/9.3): the matmul template takes tile sizes
+ * as tunable hyperparameters; around two hundred configurations per
+ * operator are enumerated, compiled, and ranked with the simulator's
+ * analytical model, mirroring the paper's auto-tuning flow.
+ *
+ * Cost control: tracing a full kernel block walks the whole k-loop, so
+ * the tuner traces two short "probe" instances (1 and 2 outer pipeline
+ * iterations) and extrapolates every counter linearly to the full depth —
+ * the loop body is iteration-invariant, so the extrapolation is exact.
+ */
+#pragma once
+
+#include <vector>
+
+#include "kernels/matmul.h"
+#include "runtime/runtime.h"
+#include "sim/timing.h"
+
+namespace tilus {
+namespace autotune {
+
+/** One tuning outcome. */
+struct TuneResult
+{
+    kernels::MatmulConfig config;
+    sim::LatencyBreakdown latency;
+    int candidates_tried = 0;
+};
+
+/** Tuning-space controls (the defaults yield ~200 candidates). */
+struct TuneSpace
+{
+    std::vector<int64_t> bm_tc = {16, 32, 64};
+    std::vector<int64_t> bn = {64, 128, 256};
+    std::vector<int64_t> bk = {32, 64, 128};
+    std::vector<int> warps_m = {1, 2};
+    std::vector<int> warps_n = {2, 4};
+    std::vector<int> simt_warps = {2, 4, 8};
+    std::vector<int> stages = {2, 3, 4};
+};
+
+/**
+ * Estimate one configuration's latency on `rt`'s GPU for token count `m`
+ * via probe-trace extrapolation (no full-depth execution).
+ */
+sim::LatencyBreakdown
+estimateConfig(runtime::Runtime &rt, const kernels::MatmulConfig &config,
+               int64_t m, const compiler::CompileOptions &opts = {},
+               const sim::PerfTraits &traits = {});
+
+/** Enumerate valid candidate configurations for a problem. */
+std::vector<kernels::MatmulConfig>
+enumerateConfigs(DataType wdtype, int64_t n, int64_t k, int64_t m,
+                 const TuneSpace &space = {});
+
+/**
+ * Pick the best configuration for matmul(m x k, k x n) with the given
+ * weight type. Results are deterministic; compiled kernels and tuning
+ * outcomes are cached inside the Runtime across calls.
+ */
+TuneResult tune(runtime::Runtime &rt, DataType wdtype, int64_t n,
+                int64_t k, int64_t m,
+                const compiler::CompileOptions &opts = {},
+                const sim::PerfTraits &traits = {},
+                const TuneSpace &space = {});
+
+} // namespace autotune
+} // namespace tilus

@@ -1,0 +1,191 @@
+#include "baselines/baselines.h"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace tilus {
+namespace baselines {
+
+const char *
+systemName(System system)
+{
+    switch (system) {
+      case System::kCublas: return "cuBLAS";
+      case System::kTriton: return "Triton";
+      case System::kLadder: return "Ladder";
+      case System::kQuantLlm: return "QuantLLM";
+      case System::kMarlin: return "Marlin";
+      case System::kTilus: return "Tilus";
+    }
+    return "?";
+}
+
+bool
+supportsDtype(System system, const DataType &wdtype)
+{
+    const int bits = wdtype.bits();
+    switch (system) {
+      case System::kCublas:
+        return bits == 16; // dense only
+      case System::kTriton:
+        // Manual unpacking handles power-of-two integer widths.
+        return bits == 16 ||
+               (wdtype.isInteger() && isPowerOfTwo(bits) && bits <= 8);
+      case System::kLadder:
+        // Type-level packing: power-of-two widths only, no custom floats.
+        return bits == 16 ||
+               (wdtype.isInteger() && isPowerOfTwo(bits) && bits <= 8);
+      case System::kQuantLlm:
+        // FP6-centric: float5/float6 quantization only.
+        return wdtype.isFloat() && (bits == 5 || bits == 6);
+      case System::kMarlin:
+        // 4-bit integer quantization only.
+        return wdtype.isInteger() && bits == 4;
+      case System::kTilus:
+        return bits == 16 || bits <= 8; // the full 1-8 bit spectrum
+    }
+    return false;
+}
+
+bool
+supportsArch(System system, const sim::GpuSpec &spec)
+{
+    switch (system) {
+      case System::kLadder:
+        // Fig. 13: Ladder cannot generate valid Hopper kernels ("an
+        // illegal instruction was encountered").
+        return spec.sm_arch < 90;
+      case System::kMarlin:
+        // Marlin does not support Hopper (Section 1).
+        return spec.sm_arch < 90;
+      default:
+        return true;
+    }
+}
+
+sim::PerfTraits
+systemTraits(System system)
+{
+    sim::PerfTraits traits;
+    switch (system) {
+      case System::kTriton:
+        // The layout-conversion round trip sits on every iteration's
+        // dependency chain, and its extra registers/smem cost occupancy.
+        traits.occupancy_factor = 0.55;
+        traits.per_iter_serial_us = 0.8;
+        break;
+      case System::kQuantLlm:
+        // Bit-sliced fp6 dequant adds work; heuristic configs only.
+        traits.occupancy_factor = 0.85;
+        traits.per_iter_serial_us = 0.05;
+        break;
+      case System::kLadder:
+        // Serialization is already structural (no cp.async); the
+        // primitive-based codegen costs some occupancy.
+        traits.occupancy_factor = 0.85;
+        break;
+      default:
+        break;
+    }
+    return traits;
+}
+
+namespace {
+
+/** The tuning space each system can explore. */
+autotune::TuneSpace
+systemSpace(System system)
+{
+    autotune::TuneSpace space;
+    switch (system) {
+      case System::kQuantLlm:
+        // Heuristic policy: one configuration family, no real search.
+        space.bm_tc = {16};
+        space.bn = {64, 128, 256};
+        space.bk = {64};
+        space.warps_m = {1};
+        space.warps_n = {4};
+        space.simt_warps = {4};
+        space.stages = {2};
+        break;
+      case System::kTriton:
+        // Triton's autotuner explores tiles but not pipeline depth > 2.
+        space.stages = {2};
+        break;
+      case System::kMarlin:
+        // Hand-tuned single kernel family with deep pipelining.
+        space.bm_tc = {16, 64};
+        space.bn = {64, 128, 256};
+        space.bk = {64};
+        space.warps_m = {1, 2};
+        space.warps_n = {4};
+        space.simt_warps = {8};
+        space.stages = {4};
+        break;
+      default:
+        break;
+    }
+    return space;
+}
+
+} // namespace
+
+EvalResult
+evaluateMatmul(System system, runtime::Runtime &rt, DataType wdtype,
+               int64_t n, int64_t k, int64_t m, int64_t group_size)
+{
+    EvalResult result;
+    if (system == System::kCublas)
+        wdtype = tilus::float16();
+
+    if (!supportsArch(system, rt.spec())) {
+        result.reason = "ERR";
+        return result;
+    }
+    if (!supportsDtype(system, wdtype)) {
+        result.reason = "unsupported dtype " + wdtype.name();
+        return result;
+    }
+
+    compiler::CompileOptions opts;
+    opts.sm_arch = 80;
+    if (system == System::kLadder)
+        opts.forbid_cp_async = true; // no software pipelining (Fig. 1(b))
+
+    autotune::TuneSpace space = systemSpace(system);
+    sim::PerfTraits traits = systemTraits(system);
+
+    // Dense f16 runs skip scales; quantized systems use grouped scales.
+    int64_t group = (wdtype.bits() == 16) ? 0 : group_size;
+
+    // Enumerate within the system's space, with its structural variant.
+    std::vector<kernels::MatmulConfig> candidates =
+        autotune::enumerateConfigs(wdtype, n, k, m, space);
+    double best = std::numeric_limits<double>::infinity();
+    for (kernels::MatmulConfig cfg : candidates) {
+        cfg.group_size = group;
+        if (system == System::kTriton)
+            cfg.convert_via_smem = true; // Figure 1(a) step 4
+        if (!cfg.valid())
+            continue;
+        sim::LatencyBreakdown est =
+            autotune::estimateConfig(rt, cfg, m, opts, traits);
+        if (est.total_us < best) {
+            best = est.total_us;
+            result.config = cfg;
+            result.latency_us = est.total_us;
+        }
+    }
+    if (!std::isfinite(best)) {
+        result.reason = "no valid configuration";
+        return result;
+    }
+    result.supported = true;
+    return result;
+}
+
+} // namespace baselines
+} // namespace tilus

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The evaluation baselines of Section 9: cuBLAS (dense f16), Triton,
+ * Ladder, QuantLLM, Marlin, and Tilus itself, each reproduced as a
+ * *structural* kernel variant on the shared compiler + simulator:
+ *
+ *  - cuBLAS: dense f16 kernels (the speedup denominator everywhere);
+ *  - Triton: pipelined, but the converted weight tile takes a layout-
+ *    conversion round trip through shared memory every iteration
+ *    (Figure 1(a) step 4) and the conversion's register pressure lowers
+ *    occupancy; supports power-of-two integer widths only (manual
+ *    unpacking of sub-byte types);
+ *  - Ladder: transforms the weight layout in global memory but cannot
+ *    software-pipeline (compiled with cp.async forbidden -> synchronous
+ *    ldg+sts staging, Figure 1(b)); type-level packing restricts it to
+ *    power-of-two widths;
+ *  - QuantLLM: hand-written fp6/fp5 kernels with a heuristic (untuned)
+ *    configuration and extra dequant work;
+ *  - Marlin: hand-optimized 4-bit kernels, Ampere/Ada only (launching on
+ *    Hopper raises the paper's "illegal instruction" error);
+ *  - Tilus: the auto-tuned template of src/kernels with all fast paths.
+ *
+ * The documented PerfTraits of each system (occupancy pressure, per-
+ * iteration serialized latency) are the only non-structural inputs; see
+ * DESIGN.md section 2.
+ */
+#pragma once
+
+#include <string>
+
+#include "autotune/tuner.h"
+#include "runtime/runtime.h"
+
+namespace tilus {
+namespace baselines {
+
+/** The systems compared in Figures 10-14. */
+enum class System
+{
+    kCublas,
+    kTriton,
+    kLadder,
+    kQuantLlm,
+    kMarlin,
+    kTilus,
+};
+
+/** Display name as used in the paper's figures. */
+const char *systemName(System system);
+
+/** Outcome of evaluating one (system, workload) cell. */
+struct EvalResult
+{
+    bool supported = false;
+    std::string reason;        ///< why unsupported ("ERR", dtype, ...)
+    double latency_us = 0;
+    kernels::MatmulConfig config; ///< chosen kernel configuration
+};
+
+/** Does `system` provide a kernel for this weight type at all? */
+bool supportsDtype(System system, const DataType &wdtype);
+
+/** Does `system` run on this GPU architecture? */
+bool supportsArch(System system, const sim::GpuSpec &spec);
+
+/** Structural performance traits of the generator (see file header). */
+sim::PerfTraits systemTraits(System system);
+
+/**
+ * Simulated latency of matmul(m x k, k x n) with the given weight type
+ * under `system` on rt's GPU. Quantized systems use grouped scales with
+ * the given group size (0 disables). cuBLAS ignores wdtype and runs f16.
+ */
+EvalResult evaluateMatmul(System system, runtime::Runtime &rt,
+                          DataType wdtype, int64_t n, int64_t k, int64_t m,
+                          int64_t group_size = 0);
+
+} // namespace baselines
+} // namespace tilus

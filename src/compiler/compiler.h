@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The Tilus compiler: lowers a verified VM program to LIR (Section 8).
+ *
+ * Step 1 plans shared memory and the global workspace; step 2 emits
+ * low-level code per instruction with instruction selection (ldmatrix
+ * when the register layout divides the ldmatrix atom; mma.m16n8k16/k8
+ * when operand layouts divide the mma fragment atoms; SIMT fma programs
+ * otherwise) and automatic vectorization of memory accesses (ldg128 /
+ * lds128 / cp.async.v4, driven by layout contiguity plus alignment
+ * analysis); step 3 lowers low-precision types — the fast path loads
+ * transformed weights as standard types and reinterprets registers at no
+ * cost, the fallback extracts sub-byte elements with bitwise operations.
+ */
+#pragma once
+
+#include "compiler/options.h"
+#include "ir/program.h"
+#include "lir/lir.h"
+
+namespace tilus {
+namespace compiler {
+
+/** Compile a program into an executable LIR kernel. */
+lir::Kernel compile(const ir::Program &program,
+                    const CompileOptions &options = {});
+
+} // namespace compiler
+} // namespace tilus

@@ -1,0 +1,117 @@
+#include "compiler/fast_cast.h"
+
+#include "dtype/float_codec.h"
+
+namespace tilus {
+namespace compiler {
+
+uint32_t
+prmt(uint32_t a, uint32_t b, uint32_t selector)
+{
+    uint8_t bytes[8];
+    for (int i = 0; i < 4; ++i)
+        bytes[i] = static_cast<uint8_t>(a >> (8 * i));
+    for (int i = 0; i < 4; ++i)
+        bytes[4 + i] = static_cast<uint8_t>(b >> (8 * i));
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+        uint32_t sel = (selector >> (4 * i)) & 0x7;
+        out |= static_cast<uint32_t>(bytes[sel]) << (8 * i);
+    }
+    return out;
+}
+
+uint32_t
+lop3(uint32_t a, uint32_t b, uint32_t c, int imm_lut)
+{
+    uint32_t out = 0;
+    for (int bit = 0; bit < 32; ++bit) {
+        int idx = (((a >> bit) & 1) << 2) | (((b >> bit) & 1) << 1) |
+                  ((c >> bit) & 1);
+        out |= static_cast<uint32_t>((imm_lut >> idx) & 1) << bit;
+    }
+    return out;
+}
+
+uint32_t
+halfSub2(uint32_t x, uint32_t y)
+{
+    auto sub = [](uint16_t a, uint16_t b) {
+        float r = f16BitsToFloat(a) - f16BitsToFloat(b);
+        return floatToF16Bits(r);
+    };
+    uint16_t lo = sub(static_cast<uint16_t>(x),
+                      static_cast<uint16_t>(y));
+    uint16_t hi = sub(static_cast<uint16_t>(x >> 16),
+                      static_cast<uint16_t>(y >> 16));
+    return (static_cast<uint32_t>(hi) << 16) | lo;
+}
+
+namespace {
+
+/** LOP3 truth table for (a & b) | c. */
+constexpr int kAndOr = 0xEA;
+
+} // namespace
+
+std::array<uint32_t, 4>
+castU4x8ToF16x8(uint32_t packed)
+{
+    std::array<uint32_t, 4> out;
+    for (int j = 0; j < 4; ++j) {
+        // Place nibble 2j at bits 0-3 and nibble 2j+1 at bits 16-19,
+        // then fuse the mask and the magic exponent with a single LOP3:
+        // (x & 0x000F000F) | 0x64006400 == half2(1024+v0, 1024+v1).
+        uint32_t x = (packed >> (8 * j)) & 0xFF;
+        uint32_t spread = x | (x << 12);
+        uint32_t biased = lop3(spread, 0x000F000F, 0x64006400, kAndOr);
+        out[j] = halfSub2(biased, 0x64006400);
+    }
+    return out;
+}
+
+std::array<uint32_t, 4>
+castI4x8ToF16x8(uint32_t packed)
+{
+    // Flip each nibble's sign bit: v + 8 as unsigned, then subtract 1032.
+    uint32_t flipped = packed ^ 0x88888888u;
+    std::array<uint32_t, 4> out;
+    for (int j = 0; j < 4; ++j) {
+        uint32_t x = (flipped >> (8 * j)) & 0xFF;
+        uint32_t spread = x | (x << 12);
+        uint32_t biased = lop3(spread, 0x000F000F, 0x64006400, kAndOr);
+        out[j] = halfSub2(biased, 0x64086408); // 1024 + 8
+    }
+    return out;
+}
+
+std::array<uint32_t, 2>
+castU8x4ToF16x4(uint32_t packed)
+{
+    // PRMT builds {0x64, b_{2j+1}, 0x64, b_{2j}} so each half is
+    // 0x6400 | b == half(1024 + b).
+    std::array<uint32_t, 2> out;
+    for (int j = 0; j < 2; ++j) {
+        uint32_t selector = j == 0 ? 0x7170u : 0x7372u;
+        uint32_t biased = prmt(packed, 0x64646464u, selector);
+        out[j] = halfSub2(biased, 0x64006400);
+    }
+    return out;
+}
+
+std::array<uint32_t, 8>
+castU2x16ToF16x16(uint32_t packed)
+{
+    std::array<uint32_t, 8> out;
+    for (int j = 0; j < 8; ++j) {
+        // Crumbs 2j and 2j+1: low at bits 0-1, high moved to bits 16-17.
+        uint32_t x = (packed >> (4 * j)) & 0xF;
+        uint32_t spread = x | (x << 14);
+        uint32_t biased = lop3(spread, 0x00030003, 0x64006400, kAndOr);
+        out[j] = halfSub2(biased, 0x64006400);
+    }
+    return out;
+}
+
+} // namespace compiler
+} // namespace tilus

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Vectorized low-precision casting sequences (Section 7.2, "Efficient
+ * Casting"). On CUDA the compiler emits PRMT (byte permute), LOP3
+ * (arbitrary three-input logic) and half-precision arithmetic to convert
+ * packed sub-byte weights to float16 entirely within registers. This
+ * module implements those exact register-level sequences over simulated
+ * 32-bit registers; unit tests validate them bit-for-bit against the
+ * reference codec, which is what the simulator's vectorized CastTensor
+ * op uses semantically.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace tilus {
+namespace compiler {
+
+/** PTX PRMT: per-result-byte select from the 8 bytes of {a, b}. */
+uint32_t prmt(uint32_t a, uint32_t b, uint32_t selector);
+
+/** PTX LOP3: bitwise f(a, b, c) defined by an 8-bit truth table. */
+uint32_t lop3(uint32_t a, uint32_t b, uint32_t c, int imm_lut);
+
+/** Packed half2 subtraction (HSUB2 semantics, round-to-nearest-even). */
+uint32_t halfSub2(uint32_t x, uint32_t y);
+
+/**
+ * Convert eight packed uint4 values (one 32-bit register) into eight
+ * float16 values (four 32-bit registers, two halves each) using the
+ * magic-bias trick: (0x6400 | v) is the half 1024+v, so one LOP3 plus
+ * one HSUB2 yields two converted elements.
+ */
+std::array<uint32_t, 4> castU4x8ToF16x8(uint32_t packed);
+
+/** Signed int4 variant (sign-bit flip + bias 1032). */
+std::array<uint32_t, 4> castI4x8ToF16x8(uint32_t packed);
+
+/** Convert four packed uint8 values into four float16 values via PRMT. */
+std::array<uint32_t, 2> castU8x4ToF16x4(uint32_t packed);
+
+/** Convert sixteen packed uint2 values into sixteen float16 values. */
+std::array<uint32_t, 8> castU2x16ToF16x16(uint32_t packed);
+
+} // namespace compiler
+} // namespace tilus

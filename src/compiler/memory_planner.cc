@@ -1,0 +1,197 @@
+#include "compiler/memory_planner.h"
+
+#include <vector>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace tilus {
+namespace compiler {
+
+namespace {
+
+using namespace tilus::ir;
+
+/** A planned tensor: size plus its [first, last] statement interval. */
+struct Interval
+{
+    int id;
+    int64_t size;
+    int first;
+    int last;
+    int64_t offset = -1;
+};
+
+/**
+ * Walk the program in textual order, recording allocation points and
+ * last uses of shared tensors (or allocation points of globals).
+ */
+class UsageScanner
+{
+  public:
+    std::vector<Interval> shared_intervals;
+    std::vector<Interval> workspace_intervals;
+
+    void
+    scan(const Stmt &stmt)
+    {
+        switch (stmt->kind()) {
+          case StmtKind::kSeq:
+            for (const Stmt &s : static_cast<const SeqStmt &>(*stmt).stmts)
+                scan(s);
+            break;
+          case StmtKind::kIf: {
+            const auto &node = static_cast<const IfStmt &>(*stmt);
+            scan(node.then_body);
+            if (node.else_body)
+                scan(node.else_body);
+            break;
+          }
+          case StmtKind::kFor: {
+            // A use anywhere inside a loop extends liveness to the loop's
+            // end: account by re-extending at loop exit.
+            int loop_begin = clock_;
+            scan(static_cast<const ForStmt &>(*stmt).body);
+            extendLoopLiveness(loop_begin);
+            break;
+          }
+          case StmtKind::kWhile: {
+            int loop_begin = clock_;
+            scan(static_cast<const WhileStmt &>(*stmt).body);
+            extendLoopLiveness(loop_begin);
+            break;
+          }
+          case StmtKind::kInst:
+            visitInst(*static_cast<const InstStmt &>(*stmt).inst);
+            ++clock_;
+            break;
+          default:
+            ++clock_;
+            break;
+        }
+    }
+
+  private:
+    void
+    extendLoopLiveness(int loop_begin)
+    {
+        // Tensors used inside the loop stay live for the whole loop.
+        for (Interval &iv : shared_intervals) {
+            if (iv.last >= loop_begin && iv.first < loop_begin)
+                iv.last = clock_;
+        }
+    }
+
+    void
+    useShared(int id)
+    {
+        for (Interval &iv : shared_intervals) {
+            if (iv.id == id) {
+                iv.last = clock_;
+                return;
+            }
+        }
+        TILUS_PANIC("shared tensor used before allocation (planner)");
+    }
+
+    void
+    visitInst(const Instruction &inst)
+    {
+        switch (inst.kind()) {
+          case InstKind::kAllocateShared: {
+            const auto &node =
+                static_cast<const AllocateSharedInst &>(inst);
+            shared_intervals.push_back(Interval{
+                node.out->id, node.out->byteSize(), clock_, clock_});
+            break;
+          }
+          case InstKind::kAllocateGlobal: {
+            const auto &node =
+                static_cast<const AllocateGlobalInst &>(inst);
+            int64_t numel = 1;
+            for (const Expr &e : node.out->shape) {
+                Env empty;
+                numel *= evalInt(e, empty); // must be constant
+            }
+            int64_t bytes = ceilDiv(numel * node.out->dtype.bits(), 8);
+            workspace_intervals.push_back(
+                Interval{node.out->id, bytes, clock_, clock_});
+            break;
+          }
+          case InstKind::kLoadShared:
+            useShared(static_cast<const LoadSharedInst &>(inst).src->id);
+            break;
+          case InstKind::kStoreShared:
+            useShared(static_cast<const StoreSharedInst &>(inst).dst->id);
+            break;
+          case InstKind::kCopyAsync:
+            useShared(static_cast<const CopyAsyncInst &>(inst).dst->id);
+            break;
+          default:
+            break;
+        }
+    }
+
+    int clock_ = 0;
+};
+
+constexpr int64_t kSharedAlign = 128;
+constexpr int64_t kWorkspaceAlign = 256;
+
+MemoryPlan
+allocateIntervals(std::vector<Interval> &intervals, int64_t alignment,
+                  bool with_liveness)
+{
+    MemoryPlan plan;
+    for (size_t i = 0; i < intervals.size(); ++i) {
+        Interval &iv = intervals[i];
+        // First-fit: find the lowest aligned offset not overlapping any
+        // time-overlapping, already-placed tensor.
+        int64_t offset = 0;
+        bool moved = true;
+        while (moved) {
+            moved = false;
+            for (size_t j = 0; j < i; ++j) {
+                const Interval &other = intervals[j];
+                bool time_overlap = !with_liveness ||
+                                    (iv.first <= other.last &&
+                                     other.first <= iv.last);
+                bool space_overlap = offset < other.offset + other.size &&
+                                     other.offset < offset + iv.size;
+                if (time_overlap && space_overlap) {
+                    offset = roundUp(other.offset + other.size, alignment);
+                    moved = true;
+                }
+            }
+        }
+        iv.offset = offset;
+        plan.offsets[iv.id] = offset;
+        plan.total_bytes =
+            std::max(plan.total_bytes, offset + iv.size);
+    }
+    plan.total_bytes = roundUp(plan.total_bytes, alignment);
+    return plan;
+}
+
+} // namespace
+
+MemoryPlan
+planSharedMemory(const ir::Program &program)
+{
+    UsageScanner scanner;
+    scanner.scan(program.body);
+    return allocateIntervals(scanner.shared_intervals, kSharedAlign,
+                             /*with_liveness=*/true);
+}
+
+MemoryPlan
+planWorkspace(const ir::Program &program)
+{
+    UsageScanner scanner;
+    scanner.scan(program.body);
+    return allocateIntervals(scanner.workspace_intervals, kWorkspaceAlign,
+                             /*with_liveness=*/false);
+}
+
+} // namespace compiler
+} // namespace tilus

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared-memory and global-workspace planning (Section 8, step 1).
+ *
+ * Tilus lets programs allocate shared tensors on demand; the planner
+ * computes each tensor's byte offset within the kernel's shared-memory
+ * space using first-alloc/last-use liveness intervals, reusing space
+ * between tensors whose lifetimes do not overlap. The workspace planner
+ * does the same for AllocateGlobal tensors (no reuse: grid lifetime).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "ir/program.h"
+
+namespace tilus {
+namespace compiler {
+
+/** Result of planning one memory space. */
+struct MemoryPlan
+{
+    std::map<int, int64_t> offsets; ///< tensor id -> byte offset
+    int64_t total_bytes = 0;
+};
+
+/** Plan shared-memory offsets for every AllocateShared in the program. */
+MemoryPlan planSharedMemory(const ir::Program &program);
+
+/**
+ * Plan the global workspace for every AllocateGlobal. Shapes must be
+ * compile-time constants (the workspace is sized before launch).
+ */
+MemoryPlan planWorkspace(const ir::Program &program);
+
+} // namespace compiler
+} // namespace tilus

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Compilation options. Besides the target architecture these expose the
+ * ablation switches DESIGN.md calls out: automatic vectorization,
+ * ldmatrix selection, the vectorized-vs-fallback casting strategy
+ * (Section 7.1 vs 7.2), and the availability of cp.async (kernels built
+ * without it degrade to synchronous ldg+sts staging, which is exactly the
+ * Ladder structure of Figure 1(b)).
+ */
+#pragma once
+
+namespace tilus {
+namespace compiler {
+
+/** Flags controlling lowering/instruction selection. */
+struct CompileOptions
+{
+    /** Minimum compute capability the kernel will require. */
+    int sm_arch = 80;
+
+    /** Coalesce contiguous element runs into ldg64/ldg128/lds128. */
+    bool enable_vectorize = true;
+
+    /** Select ldmatrix for eligible shared->register loads. */
+    bool enable_ldmatrix = true;
+
+    /**
+     * Force the per-element bitwise casting fallback of Section 7.1
+     * instead of the vectorized LOP3/PRMT path (ablation).
+     */
+    bool force_scalar_cast = false;
+
+    /**
+     * Lower CopyAsync to synchronous ldg+sts (no pipelining possible);
+     * models pre-Ampere targets and Ladder-style generators.
+     */
+    bool forbid_cp_async = false;
+};
+
+} // namespace compiler
+} // namespace tilus

@@ -1,0 +1,60 @@
+#include "dtype/cast.h"
+
+#include <cmath>
+
+#include "dtype/float_codec.h"
+#include "support/error.h"
+
+namespace tilus {
+
+int64_t
+signExtend(uint64_t bits, int width)
+{
+    if (width >= 64)
+        return static_cast<int64_t>(bits);
+    uint64_t sign_bit = 1ULL << (width - 1);
+    uint64_t mask = (1ULL << width) - 1;
+    bits &= mask;
+    return static_cast<int64_t>((bits ^ sign_bit)) -
+           static_cast<int64_t>(sign_bit);
+}
+
+double
+decodeValue(const DataType &dt, uint64_t bits)
+{
+    switch (dt.kind()) {
+      case TypeKind::kUInt:
+        if (dt.bits() < 64)
+            bits &= (1ULL << dt.bits()) - 1;
+        return static_cast<double>(bits);
+      case TypeKind::kInt:
+        return static_cast<double>(signExtend(bits, dt.bits()));
+      case TypeKind::kFloat:
+        return decodeFloat(dt, bits);
+    }
+    TILUS_PANIC("unreachable");
+}
+
+uint64_t
+encodeValue(const DataType &dt, double value)
+{
+    switch (dt.kind()) {
+      case TypeKind::kUInt: {
+        double clamped = std::min(std::max(value, 0.0), dt.maxValue());
+        return static_cast<uint64_t>(std::nearbyint(clamped));
+      }
+      case TypeKind::kInt: {
+        double clamped =
+            std::min(std::max(value, dt.minValue()), dt.maxValue());
+        int64_t v = static_cast<int64_t>(std::nearbyint(clamped));
+        uint64_t mask =
+            dt.bits() >= 64 ? ~0ULL : ((1ULL << dt.bits()) - 1);
+        return static_cast<uint64_t>(v) & mask;
+      }
+      case TypeKind::kFloat:
+        return encodeFloat(dt, value);
+    }
+    TILUS_PANIC("unreachable");
+}
+
+} // namespace tilus

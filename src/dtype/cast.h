@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Reference value<->bits conversion for every Tilus data type.
+ *
+ * decodeValue / encodeValue define the numerical meaning of a stored bit
+ * pattern. They are the semantic ground truth: the compiler's fast
+ * vectorized casting paths (LOP3/PRMT sequences) and the simulator's
+ * conversion instructions are all validated against these.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "dtype/data_type.h"
+
+namespace tilus {
+
+/** Interpret @p bits (right-aligned, dt.bits() wide) as a real value. */
+double decodeValue(const DataType &dt, uint64_t bits);
+
+/**
+ * Convert @p value into the stored bit pattern of @p dt. Integers use
+ * round-half-even then saturate to the representable range; floats follow
+ * the codec in float_codec.h.
+ */
+uint64_t encodeValue(const DataType &dt, double value);
+
+/** Sign-extend a @p width-bit two's-complement value to int64. */
+int64_t signExtend(uint64_t bits, int width);
+
+} // namespace tilus

@@ -1,0 +1,170 @@
+#include "dtype/float_codec.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "support/error.h"
+
+namespace tilus {
+
+double
+decodeFloatBits(uint64_t bits, int exp_bits, int man_bits, bool ieee)
+{
+    const uint64_t man_mask = (man_bits >= 64) ? ~0ULL
+                                               : ((1ULL << man_bits) - 1);
+    const uint64_t exp_mask = (1ULL << exp_bits) - 1;
+    const uint64_t man = bits & man_mask;
+    const uint64_t exp = (bits >> man_bits) & exp_mask;
+    const uint64_t sign = (bits >> (man_bits + exp_bits)) & 1;
+    const int bias = (1 << (exp_bits - 1)) - 1;
+    double value;
+    if (exp == 0) {
+        // Subnormal: man * 2^(1 - bias - man_bits).
+        value = std::ldexp(static_cast<double>(man), 1 - bias - man_bits);
+    } else if (ieee && exp == exp_mask) {
+        value = (man == 0) ? std::numeric_limits<double>::infinity()
+                           : std::numeric_limits<double>::quiet_NaN();
+    } else {
+        value = std::ldexp(1.0 + std::ldexp(static_cast<double>(man),
+                                            -man_bits),
+                           static_cast<int>(exp) - bias);
+    }
+    return sign ? -value : value;
+}
+
+namespace {
+
+/** Round to nearest integer, ties to even (assumes default FE mode). */
+double
+roundHalfEven(double x)
+{
+    return std::nearbyint(x);
+}
+
+} // namespace
+
+uint64_t
+encodeFloatBits(double value, int exp_bits, int man_bits, bool ieee)
+{
+    const int bias = (1 << (exp_bits - 1)) - 1;
+    const uint64_t exp_mask = (1ULL << exp_bits) - 1;
+    const int sign_shift = man_bits + exp_bits;
+
+    if (std::isnan(value)) {
+        if (ieee) {
+            // Canonical quiet NaN: top exponent, MSB of mantissa set.
+            return (exp_mask << man_bits) | (1ULL << (man_bits - 1));
+        }
+        return 0;
+    }
+
+    uint64_t sign = std::signbit(value) ? 1 : 0;
+    double a = std::fabs(value);
+
+    const int max_unbiased = ieee ? static_cast<int>(exp_mask) - 1 - bias
+                                  : static_cast<int>(exp_mask) - bias;
+    const double max_finite =
+        (2.0 - std::ldexp(1.0, -man_bits)) * std::ldexp(1.0, max_unbiased);
+
+    if (std::isinf(value) || a > max_finite) {
+        if (std::isinf(value) && ieee)
+            return (sign << sign_shift) | (exp_mask << man_bits);
+        if (!std::isinf(value)) {
+            // Finite overflow: round-to-nearest may still bring the value
+            // back into range; check against the rounding boundary.
+            const double boundary =
+                max_finite * (1.0 + std::ldexp(1.0, -man_bits - 1) /
+                                        (2.0 - std::ldexp(1.0, -man_bits)));
+            if (a < boundary) {
+                a = max_finite;
+            } else if (ieee) {
+                return (sign << sign_shift) | (exp_mask << man_bits);
+            } else {
+                a = max_finite; // saturate
+            }
+        } else {
+            a = max_finite; // saturating format has no inf
+        }
+    }
+
+    if (a == 0.0)
+        return sign << sign_shift;
+
+    int e;
+    (void)std::frexp(a, &e);
+    e -= 1; // now a = f * 2^e with f in [1, 2)
+
+    const int e_min = 1 - bias;
+    uint64_t field;
+    if (e < e_min) {
+        // Subnormal quantum; overflow into the smallest normal is handled
+        // naturally because mantissa overflow carries into the exponent.
+        const double quantum = std::ldexp(1.0, e_min - man_bits);
+        field = static_cast<uint64_t>(roundHalfEven(a / quantum));
+    } else {
+        const double scaled = std::ldexp(a, -e); // in [1, 2)
+        uint64_t man = static_cast<uint64_t>(
+            roundHalfEven((scaled - 1.0) * std::ldexp(1.0, man_bits)));
+        if (man == (1ULL << man_bits)) {
+            man = 0;
+            e += 1;
+            if (e > max_unbiased) {
+                if (ieee)
+                    return (sign << sign_shift) | (exp_mask << man_bits);
+                // Saturate to max finite.
+                return (sign << sign_shift) | (exp_mask << man_bits) |
+                       ((1ULL << man_bits) - 1);
+            }
+        }
+        field = (static_cast<uint64_t>(e + bias) << man_bits) | man;
+    }
+    return (sign << sign_shift) | field;
+}
+
+double
+decodeFloat(const DataType &dt, uint64_t bits)
+{
+    TILUS_CHECK_MSG(dt.isFloat(), "decodeFloat on non-float " << dt.name());
+    return decodeFloatBits(bits, dt.exponentBits(), dt.mantissaBits(),
+                           dt.hasIeeeSpecials());
+}
+
+uint64_t
+encodeFloat(const DataType &dt, double value)
+{
+    TILUS_CHECK_MSG(dt.isFloat(), "encodeFloat on non-float " << dt.name());
+    return encodeFloatBits(value, dt.exponentBits(), dt.mantissaBits(),
+                           dt.hasIeeeSpecials());
+}
+
+float
+f16BitsToFloat(uint16_t bits)
+{
+    return static_cast<float>(decodeFloatBits(bits, 5, 10, true));
+}
+
+uint16_t
+floatToF16Bits(float value)
+{
+    return static_cast<uint16_t>(
+        encodeFloatBits(static_cast<double>(value), 5, 10, true));
+}
+
+float
+bf16BitsToFloat(uint16_t bits)
+{
+    uint32_t wide = static_cast<uint32_t>(bits) << 16;
+    float out;
+    std::memcpy(&out, &wide, sizeof(out));
+    return out;
+}
+
+uint16_t
+floatToBf16Bits(float value)
+{
+    return static_cast<uint16_t>(
+        encodeFloatBits(static_cast<double>(value), 8, 7, true));
+}
+
+} // namespace tilus

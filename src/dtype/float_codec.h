@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Bit-level codecs for arbitrary floating-point formats.
+ *
+ * These are the reference encode/decode routines for every float format
+ * Tilus supports, from f3e1m1 up to IEEE f64. They implement round-to-
+ * nearest-even with gradual underflow (subnormals). Formats with 16 or
+ * more bits follow IEEE-754 semantics (inf/NaN reserved); narrower
+ * formats are saturating finite formats in the style of OCP FP8 variants,
+ * which is what low-precision LLM quantization uses in practice.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "dtype/data_type.h"
+
+namespace tilus {
+
+/**
+ * Decode a raw bit pattern of a float format into a double.
+ *
+ * @param bits       value bits, right-aligned (LSB at bit 0)
+ * @param exp_bits   exponent field width (>= 1)
+ * @param man_bits   mantissa field width (>= 0)
+ * @param ieee       whether the top exponent code encodes inf/NaN
+ */
+double decodeFloatBits(uint64_t bits, int exp_bits, int man_bits, bool ieee);
+
+/**
+ * Encode a double into a float format's bit pattern with round-to-nearest-
+ * even. Values beyond the max finite magnitude saturate (non-IEEE formats)
+ * or become inf (IEEE formats). NaN maps to the canonical NaN pattern in
+ * IEEE formats and to zero in saturating formats.
+ */
+uint64_t encodeFloatBits(double value, int exp_bits, int man_bits, bool ieee);
+
+/** Decode the bits of @p dt (must be a float type) into a double. */
+double decodeFloat(const DataType &dt, uint64_t bits);
+
+/** Encode @p value into the bit pattern of float type @p dt. */
+uint64_t encodeFloat(const DataType &dt, double value);
+
+/// @name IEEE half-precision helpers used throughout the simulator.
+/// @{
+float f16BitsToFloat(uint16_t bits);
+uint16_t floatToF16Bits(float value);
+float bf16BitsToFloat(uint16_t bits);
+uint16_t floatToBf16Bits(float value);
+/// @}
+
+} // namespace tilus

@@ -1,0 +1,53 @@
+#include "dtype/packing.h"
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace tilus {
+
+uint64_t
+getBits(const uint8_t *data, int64_t bit_offset, int width)
+{
+    TILUS_CHECK(width >= 1 && width <= 64);
+    uint64_t value = 0;
+    int collected = 0;
+    int64_t byte = bit_offset >> 3;
+    int in_byte = static_cast<int>(bit_offset & 7);
+    while (collected < width) {
+        int take = std::min(8 - in_byte, width - collected);
+        uint64_t part = (static_cast<uint64_t>(data[byte]) >> in_byte) &
+                        ((take == 64) ? ~0ULL : ((1ULL << take) - 1));
+        value |= part << collected;
+        collected += take;
+        ++byte;
+        in_byte = 0;
+    }
+    return value;
+}
+
+void
+setBits(uint8_t *data, int64_t bit_offset, int width, uint64_t value)
+{
+    TILUS_CHECK(width >= 1 && width <= 64);
+    int written = 0;
+    int64_t byte = bit_offset >> 3;
+    int in_byte = static_cast<int>(bit_offset & 7);
+    while (written < width) {
+        int take = std::min(8 - in_byte, width - written);
+        uint8_t mask = static_cast<uint8_t>(((1u << take) - 1) << in_byte);
+        uint8_t part = static_cast<uint8_t>(
+            ((value >> written) & ((1ULL << take) - 1)) << in_byte);
+        data[byte] = static_cast<uint8_t>((data[byte] & ~mask) | part);
+        written += take;
+        ++byte;
+        in_byte = 0;
+    }
+}
+
+int64_t
+packedByteSize(const DataType &dt, int64_t numel)
+{
+    return ceilDiv(numel * dt.bits(), 8);
+}
+
+} // namespace tilus

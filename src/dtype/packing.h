@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Compact bit-level storage of low-precision data (paper Section 7.1).
+ *
+ * Elements of width w occupy bits [i*w, (i+1)*w) of the byte stream,
+ * LSB-first within each byte, with no gaps. A single element may span two
+ * consecutive bytes (Figure 8); extraction combines masked reads from
+ * both bytes, and insertion preserves neighbouring bits.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtype/data_type.h"
+
+namespace tilus {
+
+/** Read @p width bits (1..64) starting at absolute @p bit_offset. */
+uint64_t getBits(const uint8_t *data, int64_t bit_offset, int width);
+
+/** Write @p width bits (1..64) at @p bit_offset, preserving neighbours. */
+void setBits(uint8_t *data, int64_t bit_offset, int width, uint64_t value);
+
+/** Number of bytes needed to hold @p numel elements of @p dt, packed. */
+int64_t packedByteSize(const DataType &dt, int64_t numel);
+
+/**
+ * A linear buffer of elements stored compactly at the bit level. This is
+ * how global tensors with sub-byte element types are materialized, and is
+ * also the reference container tests compare kernel output against.
+ */
+class PackedBuffer
+{
+  public:
+    PackedBuffer() = default;
+
+    PackedBuffer(DataType dtype, int64_t numel)
+        : dtype_(dtype), numel_(numel),
+          bytes_(static_cast<size_t>(packedByteSize(dtype, numel)), 0)
+    {}
+
+    const DataType &dtype() const { return dtype_; }
+    int64_t numel() const { return numel_; }
+    int64_t byteSize() const { return static_cast<int64_t>(bytes_.size()); }
+
+    uint8_t *data() { return bytes_.data(); }
+    const uint8_t *data() const { return bytes_.data(); }
+
+    /** Raw stored bits of element @p i (right-aligned). */
+    uint64_t
+    getRaw(int64_t i) const
+    {
+        return getBits(bytes_.data(), i * dtype_.bits(), dtype_.bits());
+    }
+
+    /** Store raw bits into element @p i. */
+    void
+    setRaw(int64_t i, uint64_t bits)
+    {
+        setBits(bytes_.data(), i * dtype_.bits(), dtype_.bits(), bits);
+    }
+
+  private:
+    DataType dtype_ = uint8();
+    int64_t numel_ = 0;
+    std::vector<uint8_t> bytes_;
+};
+
+} // namespace tilus

@@ -1,0 +1,376 @@
+#include "ir/expr.h"
+
+#include <atomic>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace tilus {
+namespace ir {
+
+namespace {
+
+std::atomic<int> g_next_var_id{0};
+
+bool
+isConst(const Expr &e, int64_t &value)
+{
+    if (e->kind() == ExprKind::kConst) {
+        value = static_cast<const ConstNode &>(*e).ivalue;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Var
+Var::make(std::string name, DataType dtype)
+{
+    return Var(std::make_shared<VarNode>(std::move(name), dtype,
+                                         g_next_var_id.fetch_add(1)));
+}
+
+Expr
+constInt(int64_t value, DataType dtype)
+{
+    return std::make_shared<ConstNode>(value, dtype);
+}
+
+Expr
+constFloat(double value, DataType dtype)
+{
+    return std::make_shared<ConstNode>(value, dtype);
+}
+
+Expr
+makeUnary(UnaryOp op, Expr a)
+{
+    int64_t va;
+    if (isConst(a, va)) {
+        switch (op) {
+          case UnaryOp::kNeg:
+            return constInt(-va, a->dtype());
+          case UnaryOp::kBitNot:
+            return constInt(~va, a->dtype());
+          case UnaryOp::kNot:
+            return constInt(va == 0 ? 1 : 0, tilus::uint1());
+        }
+    }
+    return std::make_shared<UnaryNode>(op, std::move(a));
+}
+
+Expr
+makeBinary(BinaryOp op, Expr a, Expr b)
+{
+    TILUS_CHECK(a != nullptr && b != nullptr);
+    int64_t va, vb;
+    const bool ca = isConst(a, va);
+    const bool cb = isConst(b, vb);
+    DataType dtype = a->dtype();
+    switch (op) {
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr:
+        dtype = tilus::uint1();
+        break;
+      default:
+        break;
+    }
+    if (ca && cb) {
+        int64_t r = 0;
+        switch (op) {
+          case BinaryOp::kAdd: r = va + vb; break;
+          case BinaryOp::kSub: r = va - vb; break;
+          case BinaryOp::kMul: r = va * vb; break;
+          case BinaryOp::kDiv:
+            TILUS_CHECK_MSG(vb != 0, "constant division by zero");
+            r = va / vb;
+            break;
+          case BinaryOp::kMod:
+            TILUS_CHECK_MSG(vb != 0, "constant modulo by zero");
+            r = va % vb;
+            break;
+          case BinaryOp::kMin: r = std::min(va, vb); break;
+          case BinaryOp::kMax: r = std::max(va, vb); break;
+          case BinaryOp::kBitAnd: r = va & vb; break;
+          case BinaryOp::kBitOr: r = va | vb; break;
+          case BinaryOp::kBitXor: r = va ^ vb; break;
+          case BinaryOp::kShl: r = va << vb; break;
+          case BinaryOp::kShr: r = va >> vb; break;
+          case BinaryOp::kAnd: r = (va != 0 && vb != 0); break;
+          case BinaryOp::kOr: r = (va != 0 || vb != 0); break;
+          case BinaryOp::kEq: r = (va == vb); break;
+          case BinaryOp::kNe: r = (va != vb); break;
+          case BinaryOp::kLt: r = (va < vb); break;
+          case BinaryOp::kLe: r = (va <= vb); break;
+          case BinaryOp::kGt: r = (va > vb); break;
+          case BinaryOp::kGe: r = (va >= vb); break;
+        }
+        return constInt(r, dtype);
+    }
+    // Algebraic identities that keep generated address code tidy.
+    if (op == BinaryOp::kAdd && ca && va == 0)
+        return b;
+    if (op == BinaryOp::kAdd && cb && vb == 0)
+        return a;
+    if (op == BinaryOp::kSub && cb && vb == 0)
+        return a;
+    if (op == BinaryOp::kMul && ((ca && va == 0) || (cb && vb == 0)))
+        return constInt(0, dtype);
+    if (op == BinaryOp::kMul && ca && va == 1)
+        return b;
+    if (op == BinaryOp::kMul && cb && vb == 1)
+        return a;
+    if ((op == BinaryOp::kDiv || op == BinaryOp::kMod) && cb && vb == 1)
+        return op == BinaryOp::kDiv ? a : constInt(0, dtype);
+    return std::make_shared<BinaryNode>(op, std::move(a), std::move(b),
+                                        dtype);
+}
+
+Expr
+makeSelect(Expr cond, Expr on_true, Expr on_false)
+{
+    int64_t vc;
+    if (isConst(cond, vc))
+        return vc != 0 ? on_true : on_false;
+    return std::make_shared<SelectNode>(std::move(cond), std::move(on_true),
+                                        std::move(on_false));
+}
+
+Expr operator+(const Expr &a, const Expr &b)
+{ return makeBinary(BinaryOp::kAdd, a, b); }
+Expr operator-(const Expr &a, const Expr &b)
+{ return makeBinary(BinaryOp::kSub, a, b); }
+Expr operator*(const Expr &a, const Expr &b)
+{ return makeBinary(BinaryOp::kMul, a, b); }
+Expr operator/(const Expr &a, const Expr &b)
+{ return makeBinary(BinaryOp::kDiv, a, b); }
+Expr operator%(const Expr &a, const Expr &b)
+{ return makeBinary(BinaryOp::kMod, a, b); }
+
+Expr operator+(const Expr &a, int64_t b)
+{ return a + constInt(b, a->dtype()); }
+Expr operator-(const Expr &a, int64_t b)
+{ return a - constInt(b, a->dtype()); }
+Expr operator*(const Expr &a, int64_t b)
+{ return a * constInt(b, a->dtype()); }
+Expr operator/(const Expr &a, int64_t b)
+{ return a / constInt(b, a->dtype()); }
+Expr operator%(const Expr &a, int64_t b)
+{ return a % constInt(b, a->dtype()); }
+
+Expr operator<(const Expr &a, const Expr &b)
+{ return makeBinary(BinaryOp::kLt, a, b); }
+Expr operator<=(const Expr &a, const Expr &b)
+{ return makeBinary(BinaryOp::kLe, a, b); }
+Expr operator>(const Expr &a, const Expr &b)
+{ return makeBinary(BinaryOp::kGt, a, b); }
+Expr operator>=(const Expr &a, const Expr &b)
+{ return makeBinary(BinaryOp::kGe, a, b); }
+Expr operator==(const Expr &a, const Expr &b)
+{ return makeBinary(BinaryOp::kEq, a, b); }
+Expr operator!=(const Expr &a, const Expr &b)
+{ return makeBinary(BinaryOp::kNe, a, b); }
+Expr minExpr(const Expr &a, const Expr &b)
+{ return makeBinary(BinaryOp::kMin, a, b); }
+Expr maxExpr(const Expr &a, const Expr &b)
+{ return makeBinary(BinaryOp::kMax, a, b); }
+
+int64_t
+evalInt(const Expr &expr, const Env &env)
+{
+    switch (expr->kind()) {
+      case ExprKind::kConst:
+        return static_cast<const ConstNode &>(*expr).ivalue;
+      case ExprKind::kVar: {
+        const auto &var = static_cast<const VarNode &>(*expr);
+        int64_t value;
+        TILUS_CHECK_MSG(env.lookup(var.id, value),
+                        "unbound variable '" << var.name << "'");
+        return value;
+      }
+      case ExprKind::kUnary: {
+        const auto &node = static_cast<const UnaryNode &>(*expr);
+        int64_t a = evalInt(node.a, env);
+        switch (node.op) {
+          case UnaryOp::kNeg: return -a;
+          case UnaryOp::kBitNot: return ~a;
+          case UnaryOp::kNot: return a == 0;
+        }
+        TILUS_PANIC("bad unary op");
+      }
+      case ExprKind::kBinary: {
+        const auto &node = static_cast<const BinaryNode &>(*expr);
+        int64_t a = evalInt(node.a, env);
+        int64_t b = evalInt(node.b, env);
+        switch (node.op) {
+          case BinaryOp::kAdd: return a + b;
+          case BinaryOp::kSub: return a - b;
+          case BinaryOp::kMul: return a * b;
+          case BinaryOp::kDiv:
+            TILUS_CHECK_MSG(b != 0, "division by zero");
+            return a / b;
+          case BinaryOp::kMod:
+            TILUS_CHECK_MSG(b != 0, "modulo by zero");
+            return a % b;
+          case BinaryOp::kMin: return std::min(a, b);
+          case BinaryOp::kMax: return std::max(a, b);
+          case BinaryOp::kBitAnd: return a & b;
+          case BinaryOp::kBitOr: return a | b;
+          case BinaryOp::kBitXor: return a ^ b;
+          case BinaryOp::kShl: return a << b;
+          case BinaryOp::kShr: return a >> b;
+          case BinaryOp::kAnd: return a != 0 && b != 0;
+          case BinaryOp::kOr: return a != 0 || b != 0;
+          case BinaryOp::kEq: return a == b;
+          case BinaryOp::kNe: return a != b;
+          case BinaryOp::kLt: return a < b;
+          case BinaryOp::kLe: return a <= b;
+          case BinaryOp::kGt: return a > b;
+          case BinaryOp::kGe: return a >= b;
+        }
+        TILUS_PANIC("bad binary op");
+      }
+      case ExprKind::kSelect: {
+        const auto &node = static_cast<const SelectNode &>(*expr);
+        return evalInt(node.cond, env) != 0 ? evalInt(node.on_true, env)
+                                            : evalInt(node.on_false, env);
+      }
+    }
+    TILUS_PANIC("unreachable");
+}
+
+namespace {
+
+const char *
+binaryOpToken(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::kAdd: return "+";
+      case BinaryOp::kSub: return "-";
+      case BinaryOp::kMul: return "*";
+      case BinaryOp::kDiv: return "/";
+      case BinaryOp::kMod: return "%";
+      case BinaryOp::kMin: return "min";
+      case BinaryOp::kMax: return "max";
+      case BinaryOp::kBitAnd: return "&";
+      case BinaryOp::kBitOr: return "|";
+      case BinaryOp::kBitXor: return "^";
+      case BinaryOp::kShl: return "<<";
+      case BinaryOp::kShr: return ">>";
+      case BinaryOp::kAnd: return "&&";
+      case BinaryOp::kOr: return "||";
+      case BinaryOp::kEq: return "==";
+      case BinaryOp::kNe: return "!=";
+      case BinaryOp::kLt: return "<";
+      case BinaryOp::kLe: return "<=";
+      case BinaryOp::kGt: return ">";
+      case BinaryOp::kGe: return ">=";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+toString(const Expr &expr)
+{
+    std::ostringstream oss;
+    switch (expr->kind()) {
+      case ExprKind::kConst: {
+        const auto &node = static_cast<const ConstNode &>(*expr);
+        if (node.dtype().isFloat())
+            oss << node.fvalue;
+        else
+            oss << node.ivalue;
+        break;
+      }
+      case ExprKind::kVar:
+        oss << static_cast<const VarNode &>(*expr).name;
+        break;
+      case ExprKind::kUnary: {
+        const auto &node = static_cast<const UnaryNode &>(*expr);
+        const char *tok = node.op == UnaryOp::kNeg     ? "-"
+                          : node.op == UnaryOp::kBitNot ? "~"
+                                                        : "!";
+        oss << tok << "(" << toString(node.a) << ")";
+        break;
+      }
+      case ExprKind::kBinary: {
+        const auto &node = static_cast<const BinaryNode &>(*expr);
+        if (node.op == BinaryOp::kMin || node.op == BinaryOp::kMax) {
+            oss << binaryOpToken(node.op) << "(" << toString(node.a) << ", "
+                << toString(node.b) << ")";
+        } else {
+            oss << "(" << toString(node.a) << " " << binaryOpToken(node.op)
+                << " " << toString(node.b) << ")";
+        }
+        break;
+      }
+      case ExprKind::kSelect: {
+        const auto &node = static_cast<const SelectNode &>(*expr);
+        oss << "(" << toString(node.on_true) << " if "
+            << toString(node.cond) << " else " << toString(node.on_false)
+            << ")";
+        break;
+      }
+    }
+    return oss.str();
+}
+
+int64_t
+provenDivisor(const Expr &expr,
+              const std::vector<std::pair<int, int64_t>> &var_divisors)
+{
+    switch (expr->kind()) {
+      case ExprKind::kConst: {
+        int64_t v = static_cast<const ConstNode &>(*expr).ivalue;
+        if (v == 0)
+            return 1 << 30; // zero is a multiple of everything (bounded)
+        return std::abs(v);
+      }
+      case ExprKind::kVar: {
+        const auto &var = static_cast<const VarNode &>(*expr);
+        for (const auto &[id, div] : var_divisors)
+            if (id == var.id)
+                return div;
+        return 1;
+      }
+      case ExprKind::kUnary: {
+        const auto &node = static_cast<const UnaryNode &>(*expr);
+        if (node.op == UnaryOp::kNeg)
+            return provenDivisor(node.a, var_divisors);
+        return 1;
+      }
+      case ExprKind::kBinary: {
+        const auto &node = static_cast<const BinaryNode &>(*expr);
+        int64_t da = provenDivisor(node.a, var_divisors);
+        int64_t db = provenDivisor(node.b, var_divisors);
+        switch (node.op) {
+          case BinaryOp::kAdd:
+          case BinaryOp::kSub:
+            return gcd64(da, db);
+          case BinaryOp::kMul:
+            return da * db;
+          default:
+            return 1;
+        }
+      }
+      case ExprKind::kSelect: {
+        const auto &node = static_cast<const SelectNode &>(*expr);
+        return gcd64(provenDivisor(node.on_true, var_divisors),
+                     provenDivisor(node.on_false, var_divisors));
+      }
+    }
+    return 1;
+}
+
+} // namespace ir
+} // namespace tilus

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Scalar expression IR shared by the Tilus virtual machine and the
+ * generated low-level code (Section 6.2, Figure 7).
+ *
+ * Expressions are immutable shared trees over typed scalars. They appear
+ * as grid-shape expressions, loop extents, branch conditions, tensor-view
+ * shapes, and memory offsets; after lowering they also serve as the
+ * per-thread address expressions of the low-level IR, where the special
+ * thread-index variable becomes meaningful.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dtype/data_type.h"
+
+namespace tilus {
+namespace ir {
+
+enum class ExprKind : uint8_t { kConst, kVar, kUnary, kBinary, kSelect };
+
+enum class BinaryOp : uint8_t {
+    kAdd, kSub, kMul, kDiv, kMod, kMin, kMax,
+    kBitAnd, kBitOr, kBitXor, kShl, kShr,
+    kAnd, kOr,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+enum class UnaryOp : uint8_t { kNeg, kBitNot, kNot };
+
+class ExprNode;
+using Expr = std::shared_ptr<const ExprNode>;
+
+/** Base of all expression nodes. */
+class ExprNode
+{
+  public:
+    virtual ~ExprNode() = default;
+
+    ExprKind kind() const { return kind_; }
+    const DataType &dtype() const { return dtype_; }
+
+  protected:
+    ExprNode(ExprKind kind, DataType dtype) : kind_(kind), dtype_(dtype) {}
+
+  private:
+    ExprKind kind_;
+    DataType dtype_;
+};
+
+/** Integer or floating constant. */
+class ConstNode : public ExprNode
+{
+  public:
+    ConstNode(int64_t value, DataType dtype)
+        : ExprNode(ExprKind::kConst, dtype), ivalue(value),
+          fvalue(static_cast<double>(value))
+    {}
+
+    ConstNode(double value, DataType dtype)
+        : ExprNode(ExprKind::kConst, dtype),
+          ivalue(static_cast<int64_t>(value)), fvalue(value)
+    {}
+
+    int64_t ivalue;
+    double fvalue;
+};
+
+/** A scalar variable: kernel parameter, loop variable, or block index. */
+class VarNode : public ExprNode
+{
+  public:
+    VarNode(std::string name, DataType dtype, int id)
+        : ExprNode(ExprKind::kVar, dtype), name(std::move(name)), id(id)
+    {}
+
+    std::string name;
+    int id;
+};
+
+class UnaryNode : public ExprNode
+{
+  public:
+    UnaryNode(UnaryOp op, Expr operand)
+        : ExprNode(ExprKind::kUnary, operand->dtype()), op(op),
+          a(std::move(operand))
+    {}
+
+    UnaryOp op;
+    Expr a;
+};
+
+class BinaryNode : public ExprNode
+{
+  public:
+    BinaryNode(BinaryOp op, Expr lhs, Expr rhs, DataType dtype)
+        : ExprNode(ExprKind::kBinary, dtype), op(op), a(std::move(lhs)),
+          b(std::move(rhs))
+    {}
+
+    BinaryOp op;
+    Expr a;
+    Expr b;
+};
+
+class SelectNode : public ExprNode
+{
+  public:
+    SelectNode(Expr cond, Expr on_true, Expr on_false)
+        : ExprNode(ExprKind::kSelect, on_true->dtype()),
+          cond(std::move(cond)), on_true(std::move(on_true)),
+          on_false(std::move(on_false))
+    {}
+
+    Expr cond;
+    Expr on_true;
+    Expr on_false;
+};
+
+/**
+ * Value-semantic handle for variables, convertible to Expr. Identity is
+ * the node pointer (unique id), so two Vars with the same name are still
+ * distinct bindings.
+ */
+class Var
+{
+  public:
+    Var() = default;
+
+    /** Create a fresh variable with a process-unique id. */
+    static Var make(std::string name, DataType dtype = tilus::int32());
+
+    const std::shared_ptr<const VarNode> &node() const { return node_; }
+    const std::string &name() const { return node_->name; }
+    int id() const { return node_->id; }
+    const DataType &dtype() const { return node_->dtype(); }
+    bool defined() const { return node_ != nullptr; }
+
+    operator Expr() const { return node_; } // NOLINT(google-explicit-*)
+
+  private:
+    explicit Var(std::shared_ptr<const VarNode> node)
+        : node_(std::move(node))
+    {}
+
+    std::shared_ptr<const VarNode> node_;
+};
+
+/// @name Factory helpers (with simple constant folding on the fly).
+/// @{
+Expr constInt(int64_t value, DataType dtype = tilus::int32());
+Expr constFloat(double value, DataType dtype = tilus::float32());
+Expr makeUnary(UnaryOp op, Expr a);
+Expr makeBinary(BinaryOp op, Expr a, Expr b);
+Expr makeSelect(Expr cond, Expr on_true, Expr on_false);
+/// @}
+
+/// @name Operator sugar used by kernel templates.
+/// @{
+Expr operator+(const Expr &a, const Expr &b);
+Expr operator-(const Expr &a, const Expr &b);
+Expr operator*(const Expr &a, const Expr &b);
+Expr operator/(const Expr &a, const Expr &b);
+Expr operator%(const Expr &a, const Expr &b);
+Expr operator+(const Expr &a, int64_t b);
+Expr operator-(const Expr &a, int64_t b);
+Expr operator*(const Expr &a, int64_t b);
+Expr operator/(const Expr &a, int64_t b);
+Expr operator%(const Expr &a, int64_t b);
+Expr operator<(const Expr &a, const Expr &b);
+Expr operator<=(const Expr &a, const Expr &b);
+Expr operator>(const Expr &a, const Expr &b);
+Expr operator>=(const Expr &a, const Expr &b);
+Expr operator==(const Expr &a, const Expr &b);
+Expr operator!=(const Expr &a, const Expr &b);
+Expr minExpr(const Expr &a, const Expr &b);
+Expr maxExpr(const Expr &a, const Expr &b);
+/// @}
+
+/** Variable bindings used when evaluating expressions. */
+class Env
+{
+  public:
+    void
+    bind(int var_id, int64_t value)
+    {
+        for (auto &[id, v] : bindings_) {
+            if (id == var_id) {
+                v = value;
+                return;
+            }
+        }
+        bindings_.emplace_back(var_id, value);
+    }
+
+    void bind(const Var &var, int64_t value) { bind(var.id(), value); }
+
+    bool
+    lookup(int var_id, int64_t &out) const
+    {
+        for (const auto &[id, v] : bindings_) {
+            if (id == var_id) {
+                out = v;
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    std::vector<std::pair<int, int64_t>> bindings_;
+};
+
+/** Evaluate an integer expression under an environment. */
+int64_t evalInt(const Expr &expr, const Env &env);
+
+/** Render an expression as source-like text. */
+std::string toString(const Expr &expr);
+
+/**
+ * The largest value v such that @p expr is provably a multiple of v for
+ * all variable assignments (alignment analysis for vectorization).
+ * Variables contribute gcd 1 unless listed in @p var_divisors.
+ */
+int64_t provenDivisor(const Expr &expr,
+                      const std::vector<std::pair<int, int64_t>>
+                          &var_divisors = {});
+
+} // namespace ir
+} // namespace tilus

@@ -1,0 +1,36 @@
+#include "ir/instruction.h"
+
+namespace tilus {
+namespace ir {
+
+const char *
+instKindName(InstKind kind)
+{
+    switch (kind) {
+      case InstKind::kBlockIndices: return "BlockIndices";
+      case InstKind::kViewGlobal: return "ViewGlobal";
+      case InstKind::kAllocateGlobal: return "AllocateGlobal";
+      case InstKind::kAllocateShared: return "AllocateShared";
+      case InstKind::kAllocateRegister: return "AllocateRegister";
+      case InstKind::kLoadGlobal: return "LoadGlobal";
+      case InstKind::kLoadShared: return "LoadShared";
+      case InstKind::kStoreGlobal: return "StoreGlobal";
+      case InstKind::kStoreShared: return "StoreShared";
+      case InstKind::kCopyAsync: return "CopyAsync";
+      case InstKind::kCopyAsyncCommitGroup: return "CopyAsyncCommitGroup";
+      case InstKind::kCopyAsyncWaitGroup: return "CopyAsyncWaitGroup";
+      case InstKind::kCast: return "Cast";
+      case InstKind::kView: return "View";
+      case InstKind::kBinary: return "Binary";
+      case InstKind::kBinaryScalar: return "BinaryScalar";
+      case InstKind::kUnary: return "Unary";
+      case InstKind::kDot: return "Dot";
+      case InstKind::kSynchronize: return "Synchronize";
+      case InstKind::kExit: return "Exit";
+      case InstKind::kPrint: return "Print";
+    }
+    return "Unknown";
+}
+
+} // namespace ir
+} // namespace tilus

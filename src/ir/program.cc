@@ -1,0 +1,4 @@
+#include "ir/program.h"
+
+// Program is header-only today; this translation unit anchors the vtable-
+// free class for the library target and future non-inline additions.

@@ -1,0 +1,19 @@
+#include "ir/stmt.h"
+
+namespace tilus {
+namespace ir {
+
+Stmt
+seq(std::vector<Stmt> stmts)
+{
+    return std::make_shared<SeqStmt>(std::move(stmts));
+}
+
+Stmt
+instStmt(Inst inst)
+{
+    return std::make_shared<InstStmt>(std::move(inst));
+}
+
+} // namespace ir
+} // namespace tilus

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Statements of the Tilus VM (Figure 7 of the paper): high-level control
+ * flow (if / for / while with break / continue), scalar assignment, and
+ * instruction statements. The VM deliberately keeps structured control
+ * flow instead of jump instructions for readability.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/expr.h"
+#include "ir/instruction.h"
+
+namespace tilus {
+namespace ir {
+
+enum class StmtKind : uint8_t {
+    kSeq,
+    kIf,
+    kFor,
+    kWhile,
+    kBreak,
+    kContinue,
+    kAssign,
+    kInst,
+};
+
+class StmtNode;
+using Stmt = std::shared_ptr<const StmtNode>;
+
+/** Base of all statement nodes. */
+class StmtNode
+{
+  public:
+    virtual ~StmtNode() = default;
+    StmtKind kind() const { return kind_; }
+
+  protected:
+    explicit StmtNode(StmtKind kind) : kind_(kind) {}
+
+  private:
+    StmtKind kind_;
+};
+
+class SeqStmt : public StmtNode
+{
+  public:
+    explicit SeqStmt(std::vector<Stmt> stmts)
+        : StmtNode(StmtKind::kSeq), stmts(std::move(stmts))
+    {}
+
+    std::vector<Stmt> stmts;
+};
+
+class IfStmt : public StmtNode
+{
+  public:
+    IfStmt(Expr cond, Stmt then_body, Stmt else_body)
+        : StmtNode(StmtKind::kIf), cond(std::move(cond)),
+          then_body(std::move(then_body)), else_body(std::move(else_body))
+    {}
+
+    Expr cond;
+    Stmt then_body;
+    Stmt else_body; ///< may be null
+};
+
+/** for var in range(extent): body */
+class ForStmt : public StmtNode
+{
+  public:
+    ForStmt(Var var, Expr extent, Stmt body)
+        : StmtNode(StmtKind::kFor), var(std::move(var)),
+          extent(std::move(extent)), body(std::move(body))
+    {}
+
+    Var var;
+    Expr extent;
+    Stmt body;
+};
+
+class WhileStmt : public StmtNode
+{
+  public:
+    WhileStmt(Expr cond, Stmt body)
+        : StmtNode(StmtKind::kWhile), cond(std::move(cond)),
+          body(std::move(body))
+    {}
+
+    Expr cond;
+    Stmt body;
+};
+
+class BreakStmt : public StmtNode
+{
+  public:
+    BreakStmt() : StmtNode(StmtKind::kBreak) {}
+};
+
+class ContinueStmt : public StmtNode
+{
+  public:
+    ContinueStmt() : StmtNode(StmtKind::kContinue) {}
+};
+
+/** Scalar variable assignment (block-uniform). */
+class AssignStmt : public StmtNode
+{
+  public:
+    AssignStmt(Var var, Expr value)
+        : StmtNode(StmtKind::kAssign), var(std::move(var)),
+          value(std::move(value))
+    {}
+
+    Var var;
+    Expr value;
+};
+
+/** An instruction used as a statement. */
+class InstStmt : public StmtNode
+{
+  public:
+    explicit InstStmt(Inst inst)
+        : StmtNode(StmtKind::kInst), inst(std::move(inst))
+    {}
+
+    Inst inst;
+};
+
+/// @name Construction helpers.
+/// @{
+Stmt seq(std::vector<Stmt> stmts);
+Stmt instStmt(Inst inst);
+/// @}
+
+} // namespace ir
+} // namespace tilus

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tensor descriptors of the Tilus VM (Section 6.1).
+ *
+ * Tensors live in one of three memory scopes: registers (distributed
+ * across block threads according to a Layout), shared memory (per-block,
+ * row-major), and global memory (grid-wide views over device pointers).
+ * Descriptors are immutable and identified by process-unique ids.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dtype/data_type.h"
+#include "ir/expr.h"
+#include "layout/layout.h"
+#include "support/math_util.h"
+
+namespace tilus {
+namespace ir {
+
+/** A register tensor: dtype + distributed layout (shape comes from it). */
+class RegTensorNode
+{
+  public:
+    RegTensorNode(int id, std::string name, DataType dtype, Layout layout)
+        : id(id), name(std::move(name)), dtype(dtype),
+          layout(std::move(layout))
+    {}
+
+    const std::vector<int64_t> &shape() const { return layout.shape(); }
+
+    /** Bits of register storage each thread dedicates to this tensor. */
+    int64_t
+    bitsPerThread() const
+    {
+        return layout.localsPerThread() * dtype.bits();
+    }
+
+    const int id;
+    const std::string name;
+    const DataType dtype;
+    const Layout layout;
+};
+using RegTensor = std::shared_ptr<const RegTensorNode>;
+
+/** A shared-memory tensor: dtype + static shape, row-major. */
+class SharedTensorNode
+{
+  public:
+    SharedTensorNode(int id, std::string name, DataType dtype,
+                     std::vector<int64_t> shape)
+        : id(id), name(std::move(name)), dtype(dtype),
+          shape(std::move(shape))
+    {}
+
+    int64_t numel() const { return product(shape); }
+
+    /** Packed byte footprint in shared memory. */
+    int64_t
+    byteSize() const
+    {
+        return ceilDiv(numel() * dtype.bits(), 8);
+    }
+
+    const int id;
+    const std::string name;
+    const DataType dtype;
+    const std::vector<int64_t> shape;
+};
+using SharedTensor = std::shared_ptr<const SharedTensorNode>;
+
+/**
+ * A global-memory tensor view: dtype + shape expressions over a pointer.
+ * Row-major; the pointer is a byte offset into device memory (kernel
+ * parameter or workspace allocation).
+ */
+class GlobalTensorNode
+{
+  public:
+    GlobalTensorNode(int id, std::string name, DataType dtype,
+                     std::vector<Expr> shape, Expr ptr, bool workspace)
+        : id(id), name(std::move(name)), dtype(dtype),
+          shape(std::move(shape)), ptr(std::move(ptr)),
+          workspace(workspace)
+    {}
+
+    int rank() const { return static_cast<int>(shape.size()); }
+
+    const int id;
+    const std::string name;
+    const DataType dtype;
+    const std::vector<Expr> shape;
+    const Expr ptr;        ///< byte offset into device memory
+    const bool workspace;  ///< true when backed by AllocateGlobal
+};
+using GlobalTensor = std::shared_ptr<const GlobalTensorNode>;
+
+} // namespace ir
+} // namespace tilus

@@ -1,0 +1,407 @@
+#include "ir/verifier.h"
+
+#include <set>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace tilus {
+namespace ir {
+
+namespace {
+
+#define VERIFY(cond, msg)                                                    \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            std::ostringstream oss_;                                         \
+            oss_ << msg;                                                     \
+            throw VerifyError(oss_.str());                                   \
+        }                                                                    \
+    } while (0)
+
+class Verifier
+{
+  public:
+    explicit Verifier(const Program &program) : prog_(program) {}
+
+    void
+    run()
+    {
+        VERIFY(prog_.body != nullptr, "program has no body");
+        VERIFY(prog_.num_warps >= 1 && prog_.num_warps <= 32,
+               "num_warps must be in [1, 32], got " << prog_.num_warps);
+        VERIFY(!prog_.grid.empty() && prog_.grid.size() <= 3,
+               "grid must have 1-3 dimensions");
+        for (const Var &p : prog_.params)
+            scalars_.insert(p.id());
+        visit(prog_.body, 0);
+    }
+
+  private:
+    void
+    visit(const Stmt &s, int loop_depth)
+    {
+        switch (s->kind()) {
+          case StmtKind::kSeq:
+            for (const Stmt &sub : static_cast<const SeqStmt &>(*s).stmts)
+                visit(sub, loop_depth);
+            break;
+          case StmtKind::kIf: {
+            const auto &node = static_cast<const IfStmt &>(*s);
+            checkExpr(node.cond);
+            visit(node.then_body, loop_depth);
+            if (node.else_body)
+                visit(node.else_body, loop_depth);
+            break;
+          }
+          case StmtKind::kFor: {
+            const auto &node = static_cast<const ForStmt &>(*s);
+            checkExpr(node.extent);
+            scalars_.insert(node.var.id());
+            visit(node.body, loop_depth + 1);
+            break;
+          }
+          case StmtKind::kWhile: {
+            const auto &node = static_cast<const WhileStmt &>(*s);
+            checkExpr(node.cond);
+            visit(node.body, loop_depth + 1);
+            break;
+          }
+          case StmtKind::kBreak:
+          case StmtKind::kContinue:
+            VERIFY(loop_depth > 0, "break/continue outside of a loop");
+            break;
+          case StmtKind::kAssign: {
+            const auto &node = static_cast<const AssignStmt &>(*s);
+            checkExpr(node.value);
+            scalars_.insert(node.var.id());
+            break;
+          }
+          case StmtKind::kInst:
+            checkInst(*static_cast<const InstStmt &>(*s).inst);
+            break;
+        }
+    }
+
+    void
+    checkExpr(const Expr &e)
+    {
+        switch (e->kind()) {
+          case ExprKind::kConst:
+            break;
+          case ExprKind::kVar: {
+            const auto &var = static_cast<const VarNode &>(*e);
+            VERIFY(scalars_.count(var.id),
+                   "use of undefined scalar variable '" << var.name << "'");
+            break;
+          }
+          case ExprKind::kUnary:
+            checkExpr(static_cast<const UnaryNode &>(*e).a);
+            break;
+          case ExprKind::kBinary: {
+            const auto &node = static_cast<const BinaryNode &>(*e);
+            checkExpr(node.a);
+            checkExpr(node.b);
+            break;
+          }
+          case ExprKind::kSelect: {
+            const auto &node = static_cast<const SelectNode &>(*e);
+            checkExpr(node.cond);
+            checkExpr(node.on_true);
+            checkExpr(node.on_false);
+            break;
+          }
+        }
+    }
+
+    void
+    defineReg(const RegTensor &t)
+    {
+        VERIFY(!regs_.count(t->id),
+               "register tensor '" << t->name << "' defined twice");
+        VERIFY(t->layout.numThreads() == prog_.blockThreads(),
+               "register tensor '"
+                   << t->name << "' layout spans " << t->layout.numThreads()
+                   << " threads but the block has " << prog_.blockThreads());
+        regs_.insert(t->id);
+    }
+
+    void
+    useReg(const RegTensor &t)
+    {
+        VERIFY(regs_.count(t->id),
+               "use of undefined register tensor '" << t->name << "'");
+    }
+
+    /**
+     * Computation instructions have in-place variants (Table 1): writing
+     * to an already-defined tensor is allowed, a fresh one is defined.
+     */
+    void
+    defineOrInPlace(const RegTensor &t)
+    {
+        if (regs_.count(t->id))
+            return;
+        defineReg(t);
+    }
+
+    void
+    useShared(const SharedTensor &t)
+    {
+        VERIFY(shareds_.count(t->id),
+               "use of undefined shared tensor '" << t->name << "'");
+    }
+
+    void
+    useGlobal(const GlobalTensor &t)
+    {
+        VERIFY(globals_.count(t->id),
+               "use of undefined global tensor '" << t->name << "'");
+    }
+
+    void
+    checkOffsets(const std::vector<Expr> &offset, size_t rank,
+                 const char *what)
+    {
+        VERIFY(offset.size() == rank,
+               what << ": offset rank " << offset.size()
+                    << " != tensor rank " << rank);
+        for (const Expr &e : offset)
+            checkExpr(e);
+    }
+
+    /** Broadcast rule: b's extent must match a's or be 1, per dim. */
+    static bool
+    broadcastCompatible(const std::vector<int64_t> &a,
+                        const std::vector<int64_t> &b)
+    {
+        if (a.size() != b.size())
+            return false;
+        for (size_t d = 0; d < a.size(); ++d)
+            if (b[d] != a[d] && b[d] != 1)
+                return false;
+        return true;
+    }
+
+    void
+    checkInst(const Instruction &inst)
+    {
+        switch (inst.kind()) {
+          case InstKind::kBlockIndices: {
+            const auto &node = static_cast<const BlockIndicesInst &>(inst);
+            VERIFY(node.outs.size() == prog_.grid.size(),
+                   "BlockIndices returns " << node.outs.size()
+                                           << " vars but grid rank is "
+                                           << prog_.grid.size());
+            for (const Var &v : node.outs)
+                scalars_.insert(v.id());
+            break;
+          }
+          case InstKind::kViewGlobal: {
+            const auto &node = static_cast<const ViewGlobalInst &>(inst);
+            checkExpr(node.out->ptr);
+            for (const Expr &e : node.out->shape)
+                checkExpr(e);
+            globals_.insert(node.out->id);
+            break;
+          }
+          case InstKind::kAllocateGlobal: {
+            const auto &node = static_cast<const AllocateGlobalInst &>(inst);
+            for (const Expr &e : node.out->shape)
+                checkExpr(e);
+            globals_.insert(node.out->id);
+            break;
+          }
+          case InstKind::kAllocateShared: {
+            const auto &node = static_cast<const AllocateSharedInst &>(inst);
+            VERIFY(node.out->byteSize() > 0, "empty shared tensor");
+            shareds_.insert(node.out->id);
+            break;
+          }
+          case InstKind::kAllocateRegister: {
+            const auto &node =
+                static_cast<const AllocateRegisterInst &>(inst);
+            defineOrInPlace(node.out);
+            break;
+          }
+          case InstKind::kLoadGlobal: {
+            const auto &node = static_cast<const LoadGlobalInst &>(inst);
+            useGlobal(node.src);
+            checkOffsets(node.offset, node.src->shape.size(), "LoadGlobal");
+            // The register layout indexes the trailing dimensions of the
+            // global view; leading dimensions are fixed by the offset
+            // (Figure 2 line 10 loads a 1-D tile from a 3-D view).
+            VERIFY(node.out->layout.rank() <= node.src->rank(),
+                   "LoadGlobal: layout rank exceeds global tensor rank");
+            VERIFY(node.out->dtype == node.src->dtype,
+                   "LoadGlobal: dtype mismatch " << node.out->dtype.name()
+                                                 << " vs "
+                                                 << node.src->dtype.name());
+            defineOrInPlace(node.out);
+            break;
+          }
+          case InstKind::kLoadShared: {
+            const auto &node = static_cast<const LoadSharedInst &>(inst);
+            useShared(node.src);
+            checkOffsets(node.offset, node.src->shape.size(), "LoadShared");
+            VERIFY(node.out->dtype == node.src->dtype,
+                   "LoadShared: dtype mismatch");
+            defineOrInPlace(node.out);
+            break;
+          }
+          case InstKind::kStoreGlobal: {
+            const auto &node = static_cast<const StoreGlobalInst &>(inst);
+            useReg(node.src);
+            useGlobal(node.dst);
+            checkOffsets(node.offset, node.dst->shape.size(),
+                         "StoreGlobal");
+            VERIFY(node.src->dtype == node.dst->dtype,
+                   "StoreGlobal: dtype mismatch");
+            break;
+          }
+          case InstKind::kStoreShared: {
+            const auto &node = static_cast<const StoreSharedInst &>(inst);
+            useReg(node.src);
+            useShared(node.dst);
+            checkOffsets(node.offset, node.dst->shape.size(),
+                         "StoreShared");
+            VERIFY(node.src->dtype == node.dst->dtype,
+                   "StoreShared: dtype mismatch");
+            break;
+          }
+          case InstKind::kCopyAsync: {
+            const auto &node = static_cast<const CopyAsyncInst &>(inst);
+            useShared(node.dst);
+            useGlobal(node.src);
+            checkOffsets(node.offset, node.src->shape.size(), "CopyAsync");
+            VERIFY(node.dst->dtype == node.src->dtype,
+                   "CopyAsync: dtype mismatch");
+            // The tile indexes the trailing dims of the global view, as
+            // with LoadGlobal (a 1-D transformed-weight tile is copied
+            // from a 3-D view).
+            VERIFY(node.dst->shape.size() <= node.src->shape.size(),
+                   "CopyAsync: tile rank exceeds source rank");
+            break;
+          }
+          case InstKind::kCopyAsyncCommitGroup:
+            break;
+          case InstKind::kCopyAsyncWaitGroup: {
+            const auto &node =
+                static_cast<const CopyAsyncWaitGroupInst &>(inst);
+            VERIFY(node.n >= 0, "CopyAsyncWaitGroup: negative n");
+            break;
+          }
+          case InstKind::kCast: {
+            const auto &node = static_cast<const CastInst &>(inst);
+            useReg(node.src);
+            VERIFY(node.src->shape() == node.out->shape(),
+                   "Cast must keep the tile shape");
+            VERIFY(node.src->layout.equivalent(node.out->layout),
+                   "Cast must keep the layout (use View to change it)");
+            defineOrInPlace(node.out);
+            break;
+          }
+          case InstKind::kView: {
+            const auto &node = static_cast<const ViewInst &>(inst);
+            useReg(node.src);
+            // The reinterpretation compatibility rule (Figure 2(c)).
+            VERIFY(node.src->layout.numThreads() ==
+                       node.out->layout.numThreads(),
+                   "View: thread count mismatch ("
+                       << node.src->layout.numThreads() << " vs "
+                       << node.out->layout.numThreads() << ")");
+            VERIFY(node.src->bitsPerThread() == node.out->bitsPerThread(),
+                   "View: bits per thread mismatch ("
+                       << node.src->bitsPerThread() << " vs "
+                       << node.out->bitsPerThread() << ")");
+            defineOrInPlace(node.out);
+            break;
+          }
+          case InstKind::kBinary: {
+            const auto &node = static_cast<const BinaryInst &>(inst);
+            useReg(node.a);
+            useReg(node.b);
+            VERIFY(node.out->shape() == node.a->shape(),
+                   "Binary: output shape must match lhs");
+            VERIFY(broadcastCompatible(node.a->shape(), node.b->shape()),
+                   "Binary: rhs shape neither matches nor broadcasts");
+            VERIFY(node.out->layout.equivalent(node.a->layout),
+                   "Binary: output layout must match lhs layout");
+            defineOrInPlace(node.out);
+            break;
+          }
+          case InstKind::kBinaryScalar: {
+            const auto &node = static_cast<const BinaryScalarInst &>(inst);
+            useReg(node.a);
+            checkExpr(node.scalar);
+            VERIFY(node.out->shape() == node.a->shape(),
+                   "BinaryScalar: shape mismatch");
+            defineOrInPlace(node.out);
+            break;
+          }
+          case InstKind::kUnary: {
+            const auto &node = static_cast<const UnaryInst &>(inst);
+            useReg(node.a);
+            VERIFY(node.out->shape() == node.a->shape(),
+                   "Unary: shape mismatch");
+            defineOrInPlace(node.out);
+            break;
+          }
+          case InstKind::kDot: {
+            const auto &node = static_cast<const DotInst &>(inst);
+            useReg(node.a);
+            useReg(node.b);
+            useReg(node.c);
+            const auto &sa = node.a->shape();
+            const auto &sb = node.b->shape();
+            const auto &sc = node.c->shape();
+            VERIFY(sa.size() == 2 && sb.size() == 2 && sc.size() == 2,
+                   "Dot operands must be matrices");
+            VERIFY(sa[1] == sb[0], "Dot: inner dimensions disagree ("
+                                       << sa[1] << " vs " << sb[0] << ")");
+            VERIFY(sc[0] == sa[0] && sc[1] == sb[1],
+                   "Dot: accumulator shape mismatch");
+            VERIFY(node.out->shape() == sc,
+                   "Dot: output shape must match accumulator");
+            VERIFY(node.a->dtype == node.b->dtype,
+                   "Dot: operand dtypes must match");
+            VERIFY(node.a->dtype.isFloat(),
+                   "Dot: operands must be floating point");
+            if (node.out != node.c) {
+                VERIFY(node.out->layout.equivalent(node.c->layout),
+                       "Dot: output layout must match accumulator layout");
+                defineReg(node.out);
+            }
+            break;
+          }
+          case InstKind::kSynchronize:
+          case InstKind::kExit:
+            break;
+          case InstKind::kPrint: {
+            const auto &node = static_cast<const PrintInst &>(inst);
+            useReg(node.tensor);
+            break;
+          }
+        }
+    }
+
+    const Program &prog_;
+    std::set<int> scalars_;
+    std::set<int> regs_;
+    std::set<int> shareds_;
+    std::set<int> globals_;
+};
+
+#undef VERIFY
+
+} // namespace
+
+void
+verify(const Program &program)
+{
+    Verifier verifier(program);
+    verifier.run();
+}
+
+} // namespace ir
+} // namespace tilus

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Static verifier for Tilus VM programs.
+ *
+ * Checks the well-formedness rules the paper's VM imposes, most notably
+ * the register-reinterpretation compatibility rule of Figure 2(c): a View
+ * is valid only when source and destination span the same number of
+ * threads and hold the same number of bits per thread. Violations raise
+ * VerifyError (a user error, in gem5 fatal() terms).
+ */
+#pragma once
+
+#include "ir/program.h"
+
+namespace tilus {
+namespace ir {
+
+/** Verify a program; throws VerifyError on the first violation. */
+void verify(const Program &program);
+
+} // namespace ir
+} // namespace tilus

@@ -1,0 +1,72 @@
+#include "kernels/elementwise.h"
+
+namespace tilus {
+namespace kernels {
+
+using namespace tilus::ir;
+using lang::Script;
+
+ElementwiseBundle
+buildVectorAdd(int num_warps, int64_t elems_per_thread)
+{
+    ElementwiseBundle bundle;
+    const int64_t threads = int64_t(num_warps) * 32;
+    bundle.tile = threads * elems_per_thread;
+
+    Script s("vector_add", num_warps);
+    bundle.n = s.paramScalar("n", tilus::int32());
+    bundle.x_ptr = s.paramPointer("x_ptr", tilus::float32());
+    bundle.y_ptr = s.paramPointer("y_ptr", tilus::float32());
+    bundle.z_ptr = s.paramPointer("z_ptr", tilus::float32());
+    Expr n = bundle.n;
+    s.setGrid({(n + (bundle.tile - 1)) / bundle.tile});
+    auto idx = s.blockIndices();
+
+    Layout layout = Layout::makeSpatial({threads}) *
+                    Layout::makeLocal({elems_per_thread});
+    auto gx = s.viewGlobal(bundle.x_ptr, tilus::float32(), {n}, "gx");
+    auto gy = s.viewGlobal(bundle.y_ptr, tilus::float32(), {n}, "gy");
+    auto gz = s.viewGlobal(bundle.z_ptr, tilus::float32(), {n}, "gz");
+    Expr base = Expr(idx[0]) * bundle.tile;
+    auto x = s.loadGlobal(gx, layout, {base}, "x");
+    auto y = s.loadGlobal(gy, layout, {base}, "y");
+    auto z = s.add(x, y, "z");
+    s.storeGlobal(z, gz, {base});
+    bundle.program = s.finish();
+    return bundle;
+}
+
+ElementwiseBundle
+buildAxpy(int num_warps, int64_t elems_per_thread)
+{
+    ElementwiseBundle bundle;
+    const int64_t threads = int64_t(num_warps) * 32;
+    bundle.tile = threads * elems_per_thread;
+
+    Script s("axpy", num_warps);
+    bundle.n = s.paramScalar("n", tilus::int32());
+    Var alpha = s.paramScalar("alpha", tilus::int32());
+    bundle.x_ptr = s.paramPointer("x_ptr", tilus::float32());
+    bundle.y_ptr = s.paramPointer("y_ptr", tilus::float32());
+    bundle.z_ptr = s.paramPointer("z_ptr", tilus::float32());
+    Expr n = bundle.n;
+    s.setGrid({(n + (bundle.tile - 1)) / bundle.tile});
+    auto idx = s.blockIndices();
+
+    Layout layout = Layout::makeSpatial({threads}) *
+                    Layout::makeLocal({elems_per_thread});
+    auto gx = s.viewGlobal(bundle.x_ptr, tilus::float32(), {n}, "gx");
+    auto gy = s.viewGlobal(bundle.y_ptr, tilus::float32(), {n}, "gy");
+    auto gz = s.viewGlobal(bundle.z_ptr, tilus::float32(), {n}, "gz");
+    Expr base = Expr(idx[0]) * bundle.tile;
+    auto x = s.loadGlobal(gx, layout, {base}, "x");
+    auto y = s.loadGlobal(gy, layout, {base}, "y");
+    auto ax = s.mulScalar(x, Expr(alpha), "ax");
+    auto z = s.add(ax, y, "z");
+    s.storeGlobal(z, gz, {base});
+    bundle.program = s.finish();
+    return bundle;
+}
+
+} // namespace kernels
+} // namespace tilus

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small demonstration kernels built on the public DSL: a vectorized
+ * elementwise add (the quickstart example) and an axpy-style scale-add.
+ * They show that the thread-block programming model is general-purpose,
+ * not matmul-specific (the paper: "Tilus supports all kernels supported
+ * by Triton in principle").
+ */
+#pragma once
+
+#include "ir/program.h"
+#include "lang/script.h"
+
+namespace tilus {
+namespace kernels {
+
+/** Bundle for 1-D elementwise kernels over f32 vectors. */
+struct ElementwiseBundle
+{
+    ir::Program program;
+    ir::Var n;     ///< element count (runtime)
+    ir::Var x_ptr;
+    ir::Var y_ptr;
+    ir::Var z_ptr;
+    int64_t tile;  ///< elements per block
+};
+
+/** z = x + y over f32[n] with the given per-block tile. */
+ElementwiseBundle buildVectorAdd(int num_warps = 4,
+                                 int64_t elems_per_thread = 4);
+
+/** z = alpha * x + y (alpha is an i32 runtime scalar for simplicity). */
+ElementwiseBundle buildAxpy(int num_warps = 4,
+                            int64_t elems_per_thread = 4);
+
+} // namespace kernels
+} // namespace tilus

@@ -1,0 +1,382 @@
+#include "kernels/matmul.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "layout/atoms.h"
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace tilus {
+namespace kernels {
+
+using namespace tilus::ir;
+using lang::Script;
+
+bool
+MatmulConfig::valid() const
+{
+    const int w = wdtype.bits();
+    if (n <= 0 || k <= 0 || bm <= 0 || bn <= 0 || bk <= 0)
+        return false;
+    if (n % bn != 0 || k % bk != 0)
+        return false;
+    if ((bn * w) % 8 != 0)
+        return false;
+    const int64_t ktiles = k / bk;
+    if (stages < 1 || ktiles < stages)
+        return false;
+    if (stages > 1 && ktiles % stages != 0)
+        return false;
+    if (group_size > 0 &&
+        (group_size % bk != 0 || k % group_size != 0))
+        return false;
+    if (use_tensor_cores) {
+        if (bm % (16 * warp_m) != 0)
+            return false;
+        if (bn % (8 * int64_t(warp_n)) != 0)
+            return false;
+        if (bk % 16 != 0)
+            return false;
+        if (tileBytes() % (int64_t(warp_n) * 32) != 0)
+            return false;
+    } else {
+        const int64_t threads = int64_t(simt_warps) * 32;
+        if (bm > 8)
+            return false; // SIMT path targets 1-8 tokens
+        if (bn % threads != 0)
+            return false;
+        if (tileBytes() % threads != 0)
+            return false;
+    }
+    // Shared memory footprint (A stages + B stages + conversion buffer).
+    int64_t smem = stages * (bm * bk * 2);
+    if (w != 16)
+        smem += stages * tileBytes();
+    else
+        smem += stages * (bk * bn * 2);
+    if (convert_via_smem)
+        smem += bk * bn * 2;
+    if (smem > 96 * 1024)
+        return false;
+    return true;
+}
+
+std::string
+MatmulConfig::name() const
+{
+    std::ostringstream oss;
+    oss << "matmul_" << wdtype.name() << "_n" << n << "_k" << k << "_bm"
+        << bm << "_bn" << bn << "_bk" << bk << "_s" << stages;
+    if (use_tensor_cores)
+        oss << "_tc" << warp_m << "x" << warp_n;
+    else
+        oss << "_simt" << simt_warps;
+    if (group_size > 0)
+        oss << "_g" << group_size;
+    if (!transform_weights)
+        oss << "_raw";
+    if (convert_via_smem)
+        oss << "_conv";
+    return oss.str();
+}
+
+double
+dequantZero(const DataType &wdtype)
+{
+    if (wdtype.isUInt())
+        return std::ldexp(1.0, wdtype.bits() - 1);
+    return 0.0;
+}
+
+namespace {
+
+/** All layouts of one instantiation, shared by main+transform programs. */
+struct Layouts
+{
+    Layout acc;     ///< f32 accumulator [bm, bn]
+    Layout a;       ///< f16 A tile [bm, bk]
+    Layout b;       ///< weight tile [bk, bn] (fragment layout)
+    Layout b_bytes; ///< u8 view of the weight tile (1-D, transformed)
+    Layout scale;   ///< f16 scale row [1, bn]
+};
+
+Layouts
+makeLayouts(const MatmulConfig &cfg)
+{
+    Layouts l;
+    const int w = cfg.wdtype.bits();
+    if (cfg.use_tensor_cores) {
+        const int64_t rm = cfg.bm / (16 * cfg.warp_m);
+        const int64_t rn = cfg.bn / (8 * cfg.warp_n);
+        const int64_t rk = cfg.bk / 16;
+        l.acc = Layout::makeSpatial({cfg.warp_m, cfg.warp_n}) *
+                Layout::makeLocal({rm, rn}) * atoms::mmaM16N8K16C();
+        l.a = Layout::makeSpatial({cfg.warp_m, 1}) *
+              replicaSpatial(2, cfg.warp_n) * Layout::makeLocal({rm, rk}) *
+              atoms::mmaM16N8K16A();
+        l.b = replicaSpatial(2, cfg.warp_m) *
+              Layout::makeSpatial({1, cfg.warp_n}) *
+              Layout::makeLocal({rk, rn}) * atoms::mmaM16N8K16B();
+        // Scale atom: one f16 per thread, column t/4, replicated over the
+        // 4 threads sharing that column in the mma B fragment.
+        Layout scale_atom =
+            Layout::makeSpatial({1, 8}) * replicaSpatial(2, 4);
+        l.scale = replicaSpatial(2, cfg.warp_m) *
+                  Layout::makeSpatial({1, cfg.warp_n}) *
+                  Layout::makeLocal({1, rn}) * scale_atom;
+        const int64_t eff_threads = int64_t(cfg.warp_n) * 32;
+        const int64_t bytes_per_thread = cfg.tileBytes() / eff_threads;
+        const int64_t n1 = gcd64(bytes_per_thread, 16);
+        const int64_t n2 = bytes_per_thread / n1;
+        l.b_bytes = replicaSpatial(1, cfg.warp_m) *
+                    (Layout::makeLocal({n2}) *
+                     Layout::makeSpatial({eff_threads}) *
+                     Layout::makeLocal({n1}));
+    } else {
+        const int64_t threads = int64_t(cfg.simt_warps) * 32;
+        const int64_t rn = cfg.bn / threads;
+        l.acc = Layout::makeLocal({cfg.bm, 1}) *
+                Layout::makeSpatial({1, threads}) *
+                Layout::makeLocal({1, rn});
+        l.a = Layout::makeLocal({cfg.bm, 1}) * replicaSpatial(2, threads) *
+              Layout::makeLocal({1, cfg.bk});
+        l.b = Layout::makeSpatial({1, threads}) *
+              Layout::makeLocal({cfg.bk, rn});
+        l.scale = Layout::makeSpatial({1, threads}) *
+                  Layout::makeLocal({1, rn});
+        const int64_t bytes_per_thread = cfg.tileBytes() / threads;
+        const int64_t n1 = gcd64(bytes_per_thread, 16);
+        const int64_t n2 = bytes_per_thread / n1;
+        l.b_bytes = Layout::makeLocal({n2}) *
+                    Layout::makeSpatial({threads}) *
+                    Layout::makeLocal({n1});
+    }
+    (void)w;
+    return l;
+}
+
+} // namespace
+
+MatmulBundle
+buildMatmul(const MatmulConfig &cfg)
+{
+    TILUS_FATAL_IF(!cfg.valid(),
+                   "invalid matmul configuration: " << cfg.name());
+    const int w = cfg.wdtype.bits();
+    const bool dense = (w == 16);
+    const bool grouped = cfg.group_size > 0;
+    const int64_t ktiles = cfg.k / cfg.bk;
+    const int64_t tile_bytes = cfg.tileBytes();
+    const Layouts lay = makeLayouts(cfg);
+    const int stages = cfg.stages;
+
+    MatmulBundle bundle;
+    bundle.config = cfg;
+
+    // ------------------------------------------------------------------
+    // Main program.
+    // ------------------------------------------------------------------
+    Script s(cfg.name(), cfg.numWarps());
+    bundle.m = s.paramScalar("m", tilus::int32());
+    bundle.a_ptr = s.paramPointer("a_ptr", tilus::float16());
+    bundle.b_ptr = s.paramPointer("b_ptr", dense ? tilus::float16()
+                                                 : tilus::uint8());
+    if (grouped)
+        bundle.scale_ptr = s.paramPointer("scale_ptr", tilus::float16());
+    bundle.c_ptr = s.paramPointer("c_ptr", tilus::float16());
+
+    Expr m = bundle.m;
+    s.setGrid({(m + (cfg.bm - 1)) / cfg.bm, constInt(cfg.n / cfg.bn)});
+    auto idx = s.blockIndices();
+    Var bi = idx[0], bj = idx[1];
+
+    auto ga = s.viewGlobal(bundle.a_ptr, tilus::float16(),
+                           {m, constInt(cfg.k)}, "ga");
+    GlobalTensor gb;
+    if (dense) {
+        gb = s.viewGlobal(bundle.b_ptr, tilus::float16(),
+                          {constInt(cfg.k), constInt(cfg.n)}, "gb");
+    } else if (cfg.transform_weights) {
+        gb = s.viewGlobal(bundle.b_ptr, tilus::uint8(),
+                          {constInt(ktiles), constInt(cfg.n / cfg.bn),
+                           constInt(tile_bytes)},
+                          "gb");
+    } else {
+        gb = s.viewGlobal(bundle.b_ptr, cfg.wdtype,
+                          {constInt(cfg.k), constInt(cfg.n)}, "gb");
+    }
+    GlobalTensor gs;
+    if (grouped) {
+        gs = s.viewGlobal(bundle.scale_ptr, tilus::float16(),
+                          {constInt(cfg.k / cfg.group_size),
+                           constInt(cfg.n)},
+                          "gs");
+    }
+    auto gc = s.viewGlobal(bundle.c_ptr, tilus::float16(),
+                           {m, constInt(cfg.n)}, "gc");
+
+    auto acc = s.allocateRegister(tilus::float32(), lay.acc, 0.0, "acc");
+
+    // Stage buffers.
+    std::vector<SharedTensor> sa(stages), sb(stages);
+    const bool stage_b = dense || cfg.transform_weights;
+    for (int st = 0; st < stages; ++st) {
+        sa[st] = s.allocateShared(tilus::float16(), {cfg.bm, cfg.bk},
+                                  "sa" + std::to_string(st));
+        if (stage_b) {
+            if (dense) {
+                sb[st] = s.allocateShared(tilus::float16(),
+                                          {cfg.bk, cfg.bn},
+                                          "sb" + std::to_string(st));
+            } else {
+                sb[st] = s.allocateShared(tilus::uint8(), {tile_bytes},
+                                          "sb" + std::to_string(st));
+            }
+        }
+    }
+    SharedTensor conv;
+    if (cfg.convert_via_smem) {
+        conv = s.allocateShared(tilus::float16(), {cfg.bk, cfg.bn},
+                                "conv");
+    }
+
+    auto prefetch = [&](Expr tile, int buffer) {
+        s.copyAsync(sa[buffer], ga, {Expr(bi) * cfg.bm, tile * cfg.bk});
+        if (stage_b) {
+            if (dense) {
+                s.copyAsync(sb[buffer], gb,
+                            {tile * cfg.bk, Expr(bj) * cfg.bn});
+            } else {
+                s.copyAsync(sb[buffer], gb,
+                            {tile, Expr(bj), constInt(0)});
+            }
+        }
+    };
+
+    // Pipeline prologue: prefetch stages-1 tiles.
+    if (stages >= 2) {
+        for (int st = 0; st < stages - 1; ++st) {
+            prefetch(constInt(st), st);
+            s.copyAsyncCommitGroup();
+        }
+    }
+
+    // Body of one k-iteration at pipeline slot `ss`.
+    auto iteration = [&](Expr k_expr, int ss) {
+        if (stages == 1) {
+            prefetch(k_expr, 0);
+            s.copyAsyncCommitGroup();
+            s.copyAsyncWaitGroup(0);
+            s.synchronize();
+        } else {
+            s.copyAsyncWaitGroup(stages - 2);
+            s.synchronize();
+        }
+        auto a = s.loadShared(sa[ss], lay.a, {constInt(0), constInt(0)},
+                              "a");
+        RegTensor b2;
+        RegTensor braw;
+        if (stage_b)
+            braw = s.loadShared(sb[ss],
+                                dense ? lay.b : lay.b_bytes,
+                                dense ? std::vector<Expr>{constInt(0),
+                                                          constInt(0)}
+                                      : std::vector<Expr>{constInt(0)},
+                                "braw");
+        // Refill the stage just consumed (overlaps the compute below).
+        if (stages >= 2) {
+            Expr next_tile = k_expr + int64_t(stages - 1);
+            s.ifThen(next_tile < constInt(ktiles), [&] {
+                prefetch(next_tile, (ss + stages - 1) % stages);
+            });
+            s.copyAsyncCommitGroup();
+        }
+        if (dense) {
+            b2 = braw;
+        } else if (cfg.transform_weights) {
+            auto b1 = s.view(braw, cfg.wdtype, lay.b, "b1");
+            b2 = s.cast(b1, tilus::float16(), "b2");
+        } else {
+            // Section 7.1 fallback: untransformed packed weights are
+            // extracted with bitwise ops directly from global memory.
+            auto b1 = s.loadGlobal(gb, lay.b,
+                                   {k_expr * cfg.bk, Expr(bj) * cfg.bn},
+                                   "b1");
+            b2 = s.cast(b1, tilus::float16(), "b2");
+        }
+        if (grouped && !dense) {
+            double zero = dequantZero(cfg.wdtype);
+            if (zero != 0.0) {
+                b2 = s.addScalar(b2, constFloat(-zero), "bz");
+            }
+            auto scale = s.loadGlobal(
+                gs, lay.scale,
+                {(k_expr * cfg.bk) / cfg.group_size, Expr(bj) * cfg.bn},
+                "scale");
+            b2 = s.mul(b2, scale, "bs");
+        }
+        if (cfg.convert_via_smem) {
+            // Triton-style Figure 1(a) step 4: the converted tile takes a
+            // round trip through shared memory to change layout.
+            s.storeShared(b2, conv, {constInt(0), constInt(0)});
+            s.synchronize();
+            b2 = s.loadShared(conv, lay.b, {constInt(0), constInt(0)},
+                              "bconv");
+            s.synchronize();
+        }
+        s.dot(a, b2, acc);
+        if (stages == 1)
+            s.synchronize(); // buffer reused next iteration
+    };
+
+    if (stages == 1) {
+        s.forRange(constInt(ktiles),
+                   [&](Var bko) { iteration(Expr(bko), 0); }, "bko");
+    } else {
+        s.forRange(
+            constInt(ktiles / stages),
+            [&](Var bko) {
+                for (int ss = 0; ss < stages; ++ss)
+                    iteration(Expr(bko) * int64_t(stages) + int64_t(ss),
+                              ss);
+            },
+            "bko");
+    }
+
+    auto out = s.cast(acc, tilus::float16(), "out");
+    s.storeGlobal(out, gc, {Expr(bi) * cfg.bm, Expr(bj) * cfg.bn});
+    bundle.main_program = s.finish();
+
+    // ------------------------------------------------------------------
+    // Weight transformation program (Figure 9).
+    // ------------------------------------------------------------------
+    if (!dense && cfg.transform_weights) {
+        Script t(cfg.name() + "_transform", cfg.numWarps());
+        bundle.t_in_ptr = t.paramPointer("b_in", cfg.wdtype);
+        bundle.t_out_ptr = t.paramPointer("b_out", tilus::uint8());
+        t.setGrid({constInt(ktiles), constInt(cfg.n / cfg.bn)});
+        auto tidx = t.blockIndices();
+        auto gin = t.viewGlobal(bundle.t_in_ptr, cfg.wdtype,
+                                {constInt(cfg.k), constInt(cfg.n)},
+                                "b_in");
+        auto gout = t.viewGlobal(bundle.t_out_ptr, tilus::uint8(),
+                                 {constInt(ktiles),
+                                  constInt(cfg.n / cfg.bn),
+                                  constInt(tile_bytes)},
+                                 "b_out");
+        auto b = t.loadGlobal(gin, lay.b,
+                              {Expr(tidx[0]) * cfg.bk,
+                               Expr(tidx[1]) * cfg.bn},
+                              "b");
+        auto b8 = t.view(b, tilus::uint8(), lay.b_bytes, "b8");
+        t.storeGlobal(b8, gout,
+                      {Expr(tidx[0]), Expr(tidx[1]), constInt(0)});
+        bundle.transform_program = t.finish();
+    }
+
+    return bundle;
+}
+
+} // namespace kernels
+} // namespace tilus

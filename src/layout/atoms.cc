@@ -1,0 +1,49 @@
+#include "layout/atoms.h"
+
+namespace tilus {
+namespace atoms {
+
+Layout
+mmaM16N8K16A()
+{
+    return columnLocal(2, 2) * spatial(8, 4) * local(1, 2);
+}
+
+Layout
+mmaM16N8K16B()
+{
+    return local(2, 1) * columnSpatial(4, 8) * local(2, 1);
+}
+
+Layout
+mmaM16N8K16C()
+{
+    return local(2, 1) * spatial(8, 4) * local(1, 2);
+}
+
+Layout
+mmaM16N8K8A()
+{
+    return local(2, 1) * spatial(8, 4) * local(1, 2);
+}
+
+Layout
+mmaM16N8K8B()
+{
+    return columnSpatial(4, 8) * local(2, 1);
+}
+
+Layout
+mmaM16N8K8C()
+{
+    return local(2, 1) * spatial(8, 4) * local(1, 2);
+}
+
+Layout
+ldmatrixAtom()
+{
+    return spatial(8, 4) * repeat(1, 4);
+}
+
+} // namespace atoms
+} // namespace tilus

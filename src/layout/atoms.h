@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Hardware-defined fragment layouts ("atoms") used by instruction selection.
+ *
+ * Each tensor-core mma instruction fixes how its operand fragments are
+ * distributed across the 32 threads of a warp (Figure 3 of the paper). A
+ * register tile can be fed to an mma when its layout is divisible by the
+ * corresponding atom; the quotient enumerates the fragment grid.
+ */
+#pragma once
+
+#include "layout/layout.h"
+
+namespace tilus {
+namespace atoms {
+
+/// @name mma.m16n8k16 (f16 inputs, f32 accumulator).
+/// @{
+/** A operand, 16x16 f16: column_local(2,2).spatial(8,4).local(1,2). */
+Layout mmaM16N8K16A();
+/** B operand, 16x8 f16: local(2,1).column_spatial(4,8).local(2,1). */
+Layout mmaM16N8K16B();
+/** C/D operand, 16x8 f32: local(2,1).spatial(8,4).local(1,2). */
+Layout mmaM16N8K16C();
+/// @}
+
+/// @name mma.m16n8k8 (f16 inputs, f32 accumulator).
+/// @{
+/** A operand, 16x8 f16. */
+Layout mmaM16N8K8A();
+/** B operand, 8x8 f16. */
+Layout mmaM16N8K8B();
+/** C/D operand, 16x8 f32. */
+Layout mmaM16N8K8C();
+/// @}
+
+/**
+ * The ldmatrix eligibility atom (Section 8, step 2): a shared->register
+ * load can use ldmatrix when the register layout is divisible by
+ * spatial(8, 4).repeat(1, 4) over 16-bit elements.
+ */
+Layout ldmatrixAtom();
+
+} // namespace atoms
+} // namespace tilus

@@ -1,0 +1,110 @@
+#include "llm/engine.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace tilus {
+namespace llm {
+
+ServingEngine::ServingEngine(runtime::Runtime &rt, ModelConfig model,
+                             EngineOptions options)
+    : rt_(rt), model_(std::move(model)), options_(options)
+{
+    // Prefill can't serve 16-bit "quantized" weights slower than vLLM's
+    // own f16 path, so dense engines store plain f16.
+    const int64_t kv_tokens = options_.context_tokens * options_.max_batch;
+    const int64_t footprint = model_.footprintBytes(
+        options_.wdtype, options_.group_size, kv_tokens);
+    if (footprint > rt_.spec().dram_bytes) {
+        std::ostringstream oss;
+        oss << model_.name << " with " << options_.wdtype.name()
+            << " weights needs " << footprint / (1 << 20) << " MiB but "
+            << rt_.spec().name << " has "
+            << rt_.spec().dram_bytes / (1 << 20) << " MiB";
+        throw OutOfMemoryError(oss.str());
+    }
+}
+
+double
+ServingEngine::matmulUs(const LinearShape &shape, int64_t m,
+                        bool quantized)
+{
+    std::ostringstream key;
+    key << shape.n << "x" << shape.k << "@" << m << "/" << quantized;
+    auto it = matmul_cache_.find(key.str());
+    if (it != matmul_cache_.end())
+        return it->second;
+
+    DataType wdtype = quantized ? options_.wdtype : tilus::float16();
+    baselines::System system = options_.system;
+    if (!quantized && system != baselines::System::kCublas) {
+        // All systems fall back to standard f16 kernels for the LM head;
+        // Ladder still lacks pipelining there, Tilus/vLLM use cuBLAS.
+        if (system != baselines::System::kLadder)
+            system = baselines::System::kCublas;
+    }
+    baselines::EvalResult result = baselines::evaluateMatmul(
+        system, rt_, wdtype, shape.n, shape.k, m, options_.group_size);
+    if (!result.supported)
+        throw SimError(model_.name + " " + shape.name + ": " +
+                       result.reason);
+    matmul_cache_[key.str()] = result.latency_us;
+    return result.latency_us;
+}
+
+double
+ServingEngine::stepMs(int64_t tokens, bool prefill)
+{
+    const auto &spec = rt_.spec();
+    double us = 0;
+
+    // Quantized linear layers of every transformer block.
+    for (const LinearShape &shape : model_.layerLinears())
+        us += matmulUs(shape, tokens, options_.wdtype.bits() < 16) *
+              model_.layers;
+
+    // Attention: bandwidth-bound KV traffic in decode, compute-bound
+    // score/value matmuls in prefill. Identical across systems.
+    const double dram_bps = spec.dram_gbps * 1e9;
+    if (prefill) {
+        // Scores + V-aggregation: 2 * 2 * T^2 * heads * head_dim flops.
+        double flops = 4.0 * double(tokens) * tokens * model_.heads *
+                       model_.head_dim * model_.layers;
+        us += flops / (spec.fp16_tc_tflops * 1e12) * 1e6;
+        // KV-cache write.
+        us += double(model_.kvBytesPerToken()) * tokens / dram_bps * 1e6;
+    } else {
+        // Each request reads its context's K and V.
+        double kv_bytes = double(model_.kvBytesPerToken()) *
+                          options_.context_tokens * tokens;
+        us += kv_bytes / dram_bps * 1e6;
+        us += spec.launch_overhead_us * model_.layers; // attention kernels
+    }
+
+    // Norms, residuals, activations: ~6 hidden-sized vectors per layer.
+    double elt_bytes =
+        6.0 * double(tokens) * model_.hidden * 2 * model_.layers;
+    us += elt_bytes / dram_bps * 1e6;
+
+    // LM head (kept f16 by every system).
+    LinearShape head{"lm_head", model_.vocab, model_.hidden};
+    us += matmulUs(head, tokens, /*quantized=*/false);
+
+    return us / 1000.0;
+}
+
+double
+ServingEngine::decodeMs(int64_t batch)
+{
+    return stepMs(batch, /*prefill=*/false);
+}
+
+double
+ServingEngine::prefillMs(int64_t tokens)
+{
+    return stepMs(tokens, /*prefill=*/true);
+}
+
+} // namespace llm
+} // namespace tilus

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The LLM serving substrate for the end-to-end evaluation (Sections
+ * 9.4-9.5): a vLLM-like engine that computes per-step latency by issuing
+ * every layer's matmul to the simulated GPU through the chosen system's
+ * kernel generator, plus bandwidth-bound attention / normalization terms
+ * that are identical across systems. Continuous batching semantics follow
+ * the paper: in decode the batch size equals the number of requests (one
+ * token each); in prefill it equals the total prompt length.
+ *
+ * Device-memory footprint (quantized weights + f16 embeddings/LM head +
+ * KV-cache reservation) is checked against the GPU's capacity on engine
+ * construction, reproducing the OOM entries of Figures 12-13.
+ */
+#pragma once
+
+#include <map>
+
+#include "baselines/baselines.h"
+#include "llm/model_config.h"
+#include "runtime/runtime.h"
+
+namespace tilus {
+namespace llm {
+
+/** Engine configuration: which system serves which weight format. */
+struct EngineOptions
+{
+    baselines::System system = baselines::System::kTilus;
+    DataType wdtype = tilus::uint4();
+    int64_t group_size = 128;   ///< sub-channel scale group
+    int64_t context_tokens = 1024; ///< decode context per request
+    int64_t max_batch = 16;     ///< KV reservation assumes this many
+};
+
+/** A served model instance on one simulated GPU. */
+class ServingEngine
+{
+  public:
+    /**
+     * Reserve the model's footprint on the device; throws
+     * OutOfMemoryError when it exceeds capacity (Figures 12-13 "OOM").
+     */
+    ServingEngine(runtime::Runtime &rt, ModelConfig model,
+                  EngineOptions options);
+
+    /** Latency of one decode step serving `batch` requests (ms). */
+    double decodeMs(int64_t batch);
+
+    /** Latency of one prefill over `tokens` prompt tokens (ms). */
+    double prefillMs(int64_t tokens);
+
+    const ModelConfig &model() const { return model_; }
+    const EngineOptions &options() const { return options_; }
+
+  private:
+    double stepMs(int64_t tokens, bool prefill);
+    double matmulUs(const LinearShape &shape, int64_t m,
+                    bool quantized);
+
+    runtime::Runtime &rt_;
+    ModelConfig model_;
+    EngineOptions options_;
+    std::map<std::string, double> matmul_cache_;
+};
+
+} // namespace llm
+} // namespace tilus

@@ -1,0 +1,100 @@
+#include "llm/model_config.h"
+
+#include "dtype/packing.h"
+
+namespace tilus {
+namespace llm {
+
+std::vector<LinearShape>
+ModelConfig::layerLinears() const
+{
+    const int64_t qkv_n = (int64_t(heads) + 2 * kv_heads) * head_dim;
+    return {
+        {"qkv_proj", qkv_n, hidden},
+        {"o_proj", hidden, int64_t(heads) * head_dim},
+        {"gate_up_proj", 2 * ffn, hidden},
+        {"down_proj", hidden, ffn},
+    };
+}
+
+int64_t
+ModelConfig::linearWeightElems() const
+{
+    int64_t per_layer = 0;
+    for (const LinearShape &shape : layerLinears())
+        per_layer += shape.n * shape.k;
+    return per_layer * layers;
+}
+
+int64_t
+ModelConfig::f16HeadElems() const
+{
+    return 2 * vocab * hidden; // input embedding + LM head
+}
+
+int64_t
+ModelConfig::kvBytesPerToken() const
+{
+    return 2 * layers * int64_t(kv_heads) * head_dim * 2; // f16 K and V
+}
+
+int64_t
+ModelConfig::footprintBytes(const DataType &wdtype, int64_t group_size,
+                            int64_t kv_tokens) const
+{
+    int64_t bytes = packedByteSize(wdtype, linearWeightElems());
+    if (group_size > 0 && wdtype.bits() < 16)
+        bytes += linearWeightElems() / group_size * 2; // f16 scales
+    bytes += f16HeadElems() * 2;
+    bytes += kvBytesPerToken() * kv_tokens;
+    bytes += 512LL * 1024 * 1024; // activation / workspace reserve
+    return bytes;
+}
+
+ModelConfig
+gemma2_9b()
+{
+    ModelConfig m;
+    m.name = "Gemma-2-9B";
+    m.hidden = 3584;
+    m.layers = 42;
+    m.ffn = 14336;
+    m.vocab = 256000;
+    m.heads = 16;
+    m.kv_heads = 8;
+    m.head_dim = 256;
+    return m;
+}
+
+ModelConfig
+qwen25_32b()
+{
+    ModelConfig m;
+    m.name = "Qwen2.5-32B";
+    m.hidden = 5120;
+    m.layers = 64;
+    m.ffn = 27648;
+    m.vocab = 152064;
+    m.heads = 40;
+    m.kv_heads = 8;
+    m.head_dim = 128;
+    return m;
+}
+
+ModelConfig
+llama33_70b()
+{
+    ModelConfig m;
+    m.name = "Llama-3.3-70B";
+    m.hidden = 8192;
+    m.layers = 80;
+    m.ffn = 28672;
+    m.vocab = 128256;
+    m.heads = 64;
+    m.kv_heads = 8;
+    m.head_dim = 128;
+    return m;
+}
+
+} // namespace llm
+} // namespace tilus

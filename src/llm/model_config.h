@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Transformer model configurations for the end-to-end evaluation
+ * (Section 9.4): Gemma-2-9B, Qwen2.5-32B, and Llama-3.3-70B-Instruct.
+ * Like the paper's artifact, only the meta-information matters (layer
+ * counts and matrix shapes); weights are synthetic.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dtype/data_type.h"
+
+namespace tilus {
+namespace llm {
+
+/** One linear layer's weight matrix: C[m,n] = X[m,k] @ W[k,n]. */
+struct LinearShape
+{
+    std::string name;
+    int64_t n;
+    int64_t k;
+};
+
+/** Decoder-only transformer meta-configuration. */
+struct ModelConfig
+{
+    std::string name;
+    int64_t hidden = 0;
+    int64_t layers = 0;
+    int64_t ffn = 0;       ///< intermediate size
+    int64_t vocab = 0;
+    int heads = 0;
+    int kv_heads = 0;
+    int64_t head_dim = 0;
+
+    /** The quantizable linear layers of one transformer block. */
+    std::vector<LinearShape> layerLinears() const;
+
+    /** Total elements across all quantizable linear weights. */
+    int64_t linearWeightElems() const;
+
+    /** Embedding + LM-head elements (kept in f16 by every system). */
+    int64_t f16HeadElems() const;
+
+    /** Bytes of one token's KV-cache entry (f16 K and V, all layers). */
+    int64_t kvBytesPerToken() const;
+
+    /**
+     * Total device footprint of the served model: quantized linears (+
+     * per-group f16 scales), f16 embeddings/LM head, and the KV cache
+     * reservation for `kv_tokens` tokens.
+     */
+    int64_t footprintBytes(const DataType &wdtype, int64_t group_size,
+                           int64_t kv_tokens) const;
+};
+
+/** Gemma-2-9B (42 layers, d=3584, GQA 16/8, head 256, vocab 256k). */
+ModelConfig gemma2_9b();
+
+/** Qwen2.5-32B (64 layers, d=5120, GQA 40/8, head 128, vocab 152k). */
+ModelConfig qwen25_32b();
+
+/** Llama-3.3-70B-Instruct (80 layers, d=8192, GQA 64/8, vocab 128k). */
+ModelConfig llama33_70b();
+
+} // namespace llm
+} // namespace tilus

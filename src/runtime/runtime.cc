@@ -1,0 +1,117 @@
+#include "runtime/runtime.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace tilus {
+namespace runtime {
+
+DeviceTensor
+Runtime::alloc(DataType dtype, std::vector<int64_t> shape)
+{
+    DeviceTensor tensor;
+    tensor.dtype = dtype;
+    tensor.shape = std::move(shape);
+    tensor.ptr = device_.allocate(tensor.bytes());
+    return tensor;
+}
+
+void
+Runtime::upload(const DeviceTensor &tensor, const PackedBuffer &host)
+{
+    TILUS_CHECK_MSG(host.dtype() == tensor.dtype &&
+                        host.numel() == tensor.numel(),
+                    "upload: host/device tensor mismatch");
+    device_.write(tensor.ptr, host.data(), host.byteSize());
+}
+
+PackedBuffer
+Runtime::download(const DeviceTensor &tensor)
+{
+    PackedBuffer host(tensor.dtype, tensor.numel());
+    device_.read(tensor.ptr, host.data(), host.byteSize());
+    return host;
+}
+
+const lir::Kernel &
+Runtime::getOrCompile(const ir::Program &program,
+                      const compiler::CompileOptions &options)
+{
+    std::ostringstream key;
+    key << program.name << "|arch=" << options.sm_arch
+        << "|vec=" << options.enable_vectorize
+        << "|ldm=" << options.enable_ldmatrix
+        << "|scalar_cast=" << options.force_scalar_cast
+        << "|no_cpasync=" << options.forbid_cp_async;
+    auto it = cache_.find(key.str());
+    if (it != cache_.end())
+        return *it->second;
+    auto kernel =
+        std::make_unique<lir::Kernel>(compiler::compile(program, options));
+    ++compile_count_;
+    auto [pos, inserted] = cache_.emplace(key.str(), std::move(kernel));
+    TILUS_CHECK(inserted);
+    return *pos->second;
+}
+
+ir::Env
+Runtime::toEnv(const lir::Kernel &kernel,
+               const std::vector<KernelArg> &args)
+{
+    // Cached kernels keep the parameter variables of the build that first
+    // compiled them; bind by parameter name so any equivalent bundle's
+    // handles work (CUDA binds by position for the same reason).
+    ir::Env env;
+    for (const KernelArg &arg : args) {
+        bool bound = false;
+        for (const ir::Var &param : kernel.params) {
+            if (param.name() == arg.var.name()) {
+                env.bind(param, arg.value);
+                bound = true;
+                break;
+            }
+        }
+        if (!bound)
+            env.bind(arg.var, arg.value);
+    }
+    return env;
+}
+
+void
+Runtime::checkArch(const lir::Kernel &kernel) const
+{
+    if (!spec_.supportsArch(kernel.sm_arch)) {
+        throw SimError("an illegal instruction was encountered: kernel '" +
+                       kernel.name + "' requires sm_" +
+                       std::to_string(kernel.sm_arch) + " but " +
+                       spec_.name + " is sm_" +
+                       std::to_string(spec_.sm_arch));
+    }
+}
+
+sim::SimStats
+Runtime::launch(const lir::Kernel &kernel, const std::vector<KernelArg> &args)
+{
+    checkArch(kernel);
+    TILUS_FATAL_IF(kernel.smem_bytes > spec_.max_smem_per_block,
+                   "kernel '" << kernel.name << "' needs "
+                              << kernel.smem_bytes
+                              << " B shared memory; device limit is "
+                              << spec_.max_smem_per_block);
+    return sim::run(kernel, toEnv(kernel, args), &device_);
+}
+
+sim::LatencyBreakdown
+Runtime::estimate(const lir::Kernel &kernel,
+                  const std::vector<KernelArg> &args,
+                  const sim::PerfTraits &traits)
+{
+    checkArch(kernel);
+    ir::Env env = toEnv(kernel, args);
+    sim::SimStats block_stats = sim::traceOneBlock(kernel, env);
+    return sim::estimateLatency(kernel, block_stats, env, spec_, traits);
+}
+
+} // namespace runtime
+} // namespace tilus

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The Tilus runtime system (Section 8, step 4): it owns the simulated
+ * device, loads compiled kernels, caches them to avoid recompilation,
+ * provides the workspace used by AllocateGlobal, and launches kernels
+ * over a CUDA-stream-like interface. It also exposes the timing entry
+ * point used by benchmarks: trace one block and extrapolate with the
+ * analytical model.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "dtype/packing.h"
+#include "ir/program.h"
+#include "sim/device.h"
+#include "sim/gpu_spec.h"
+#include "sim/interpreter.h"
+#include "sim/timing.h"
+
+namespace tilus {
+namespace runtime {
+
+/** A device tensor handle: pointer + dtype + row-major shape. */
+struct DeviceTensor
+{
+    uint64_t ptr = 0;
+    DataType dtype = tilus::float16();
+    std::vector<int64_t> shape;
+
+    int64_t
+    numel() const
+    {
+        int64_t n = 1;
+        for (int64_t s : shape)
+            n *= s;
+        return n;
+    }
+
+    int64_t bytes() const { return packedByteSize(dtype, numel()); }
+};
+
+/** Name/value argument for kernel launches. */
+struct KernelArg
+{
+    ir::Var var;
+    int64_t value;
+};
+
+/** The runtime: device + kernel cache + execution context. */
+class Runtime
+{
+  public:
+    explicit Runtime(sim::GpuSpec spec)
+        : spec_(std::move(spec)), device_(spec_.dram_bytes)
+    {}
+
+    const sim::GpuSpec &spec() const { return spec_; }
+    sim::Device &device() { return device_; }
+
+    /** Allocate a device tensor (256-byte aligned, OOM-checked). */
+    DeviceTensor alloc(DataType dtype, std::vector<int64_t> shape);
+
+    /** Copy a packed host buffer into a device tensor. */
+    void upload(const DeviceTensor &tensor, const PackedBuffer &host);
+
+    /** Copy a device tensor back into a packed host buffer. */
+    PackedBuffer download(const DeviceTensor &tensor);
+
+    /**
+     * Compile (or fetch from cache) a program. The cache key is the
+     * program name plus the option fingerprint; the paper's runtime keeps
+     * the same in-memory kernel cache to avoid recompilation.
+     */
+    const lir::Kernel &getOrCompile(const ir::Program &program,
+                                    const compiler::CompileOptions &options);
+
+    /** Number of compilations performed (cache effectiveness metric). */
+    int compileCount() const { return compile_count_; }
+
+    /** Launch a kernel functionally over all blocks. */
+    sim::SimStats launch(const lir::Kernel &kernel,
+                         const std::vector<KernelArg> &args);
+
+    /**
+     * Estimate the kernel's latency on this runtime's GPU by tracing one
+     * block in ghost mode and applying the analytical model.
+     */
+    sim::LatencyBreakdown estimate(const lir::Kernel &kernel,
+                                   const std::vector<KernelArg> &args,
+                                   const sim::PerfTraits &traits = {});
+
+  private:
+    static ir::Env toEnv(const lir::Kernel &kernel,
+                         const std::vector<KernelArg> &args);
+    void checkArch(const lir::Kernel &kernel) const;
+
+    sim::GpuSpec spec_;
+    sim::Device device_;
+    std::map<std::string, std::unique_ptr<lir::Kernel>> cache_;
+    int compile_count_ = 0;
+};
+
+} // namespace runtime
+} // namespace tilus

@@ -1,0 +1,46 @@
+#include "sim/device.h"
+
+#include <cstring>
+
+#include "dtype/packing.h"
+
+namespace tilus {
+namespace sim {
+
+void
+Device::ensure(int64_t end) const
+{
+    if (static_cast<int64_t>(mem_.size()) < end)
+        mem_.resize(static_cast<size_t>(end), 0);
+}
+
+void
+Device::read(uint64_t addr, void *out, int64_t n) const
+{
+    ensure(static_cast<int64_t>(addr) + n);
+    std::memcpy(out, mem_.data() + addr, static_cast<size_t>(n));
+}
+
+void
+Device::write(uint64_t addr, const void *data, int64_t n)
+{
+    ensure(static_cast<int64_t>(addr) + n);
+    std::memcpy(mem_.data() + addr, data, static_cast<size_t>(n));
+}
+
+uint64_t
+Device::readBits(int64_t bit_addr, int bits) const
+{
+    ensure((bit_addr + bits + 7) / 8);
+    return getBits(mem_.data(), bit_addr, bits);
+}
+
+void
+Device::writeBits(int64_t bit_addr, int bits, uint64_t value)
+{
+    ensure((bit_addr + bits + 7) / 8);
+    setBits(mem_.data(), bit_addr, bits, value);
+}
+
+} // namespace sim
+} // namespace tilus

@@ -1,0 +1,70 @@
+#include "sim/gpu_spec.h"
+
+namespace tilus {
+namespace sim {
+
+GpuSpec
+l40s()
+{
+    GpuSpec spec;
+    spec.name = "L40S";
+    spec.sm_arch = 89;
+    spec.num_sms = 142;
+    spec.dram_bytes = 48LL * 1024 * 1024 * 1024;
+    spec.dram_gbps = 864.0;
+    spec.l2_gbps = 4200.0;
+    spec.fp16_tc_tflops = 181.0;
+    spec.fp32_tflops = 91.6;
+    spec.alu_topsps = 40.0; // 142 SMs x 128 lanes x 2.2 GHz
+    spec.smem_gbps = 40000.0;
+    spec.smem_per_sm = 100 * 1024;
+    spec.max_smem_per_block = 99 * 1024;
+    spec.max_threads_per_sm = 1536;
+    spec.clock_ghz = 2.2;
+    return spec;
+}
+
+GpuSpec
+a100()
+{
+    GpuSpec spec;
+    spec.name = "A100";
+    spec.sm_arch = 80;
+    spec.num_sms = 108;
+    spec.dram_bytes = 80LL * 1024 * 1024 * 1024;
+    spec.dram_gbps = 2039.0;
+    spec.l2_gbps = 5100.0;
+    spec.fp16_tc_tflops = 312.0;
+    spec.fp32_tflops = 19.5;
+    spec.alu_topsps = 19.5; // 108 SMs x 128 lanes... 64 fp32 lanes x 1.41
+    spec.smem_gbps = 19500.0;
+    spec.smem_per_sm = 164 * 1024;
+    spec.max_smem_per_block = 163 * 1024;
+    spec.max_threads_per_sm = 2048;
+    spec.clock_ghz = 1.41;
+    return spec;
+}
+
+GpuSpec
+h100()
+{
+    GpuSpec spec;
+    spec.name = "H100";
+    spec.sm_arch = 90;
+    spec.num_sms = 132;
+    spec.dram_bytes = 80LL * 1024 * 1024 * 1024;
+    spec.dram_gbps = 3350.0;
+    spec.l2_gbps = 8000.0;
+    spec.fp16_tc_tflops = 989.0;
+    spec.fp32_tflops = 66.9;
+    spec.alu_topsps = 50.0;
+    spec.smem_gbps = 33000.0;
+    spec.smem_per_sm = 228 * 1024;
+    spec.max_smem_per_block = 227 * 1024;
+    spec.max_threads_per_sm = 2048;
+    spec.clock_ghz = 1.98;
+    return spec;
+}
+
+} // namespace sim
+} // namespace tilus

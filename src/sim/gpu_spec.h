@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Hardware specification tables for the simulated GPUs. The paper
+ * evaluates on NVIDIA L40S (Ada, sm_89), A100 (Ampere, sm_80) and H100
+ * (Hopper, sm_90); the numbers below are the public datasheet figures
+ * that drive the analytical timing model.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tilus {
+namespace sim {
+
+/** Static description of a GPU used by the timing model and runtime. */
+struct GpuSpec
+{
+    std::string name;
+    int sm_arch = 80;            ///< compute capability (80, 89, 90)
+    int num_sms = 108;
+    int64_t dram_bytes = 0;      ///< device memory capacity
+    double dram_gbps = 0;        ///< DRAM bandwidth, GB/s
+    double l2_gbps = 0;          ///< L2 bandwidth, GB/s
+    double fp16_tc_tflops = 0;   ///< dense fp16 tensor-core throughput
+    double fp32_tflops = 0;      ///< CUDA-core fp32 throughput
+    double alu_topsps = 0;       ///< integer/logic ops per second (tera)
+    double smem_gbps = 0;        ///< aggregate shared-memory bandwidth
+    int64_t smem_per_sm = 0;     ///< shared memory per SM (bytes)
+    int64_t max_smem_per_block = 0;
+    int max_threads_per_sm = 2048;
+    int max_blocks_per_sm = 16;
+    double clock_ghz = 1.5;
+    double launch_overhead_us = 4.0;
+    double dram_latency_us = 0.55; ///< unpipelined per-round-trip cost
+    bool supports_cp_async = true;
+
+    /** True when a kernel compiled for `arch` can run here. */
+    bool
+    supportsArch(int kernel_arch) const
+    {
+        return kernel_arch <= sm_arch;
+    }
+};
+
+/** NVIDIA L40S (Ada Lovelace, 48 GiB) — the paper's primary platform. */
+GpuSpec l40s();
+
+/** NVIDIA A100 SXM 80 GiB (Ampere). */
+GpuSpec a100();
+
+/** NVIDIA H100 SXM 80 GiB (Hopper). */
+GpuSpec h100();
+
+} // namespace sim
+} // namespace tilus

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Functional execution of LIR kernels on the simulated GPU.
+ *
+ * Each thread block is executed with per-thread register storages, a
+ * shared-memory buffer, and a cp.async group queue whose copies are
+ * genuinely deferred until the matching wait — a missing wait observably
+ * yields stale shared memory, just like on hardware. Warp-wide mma ops
+ * gather operand fragments across the 32 lanes of each warp using the
+ * hardware atom layouts.
+ *
+ * Execution is statement-lockstep: every thread finishes an op before the
+ * next op starts. This makes ordinary shared-memory races unobservable
+ * (a deliberate simplification) while keeping the asynchronous-copy
+ * hazards of Section 6.3 fully observable.
+ */
+#pragma once
+
+#include <functional>
+
+#include "ir/expr.h"
+#include "lir/lir.h"
+#include "sim/device.h"
+#include "sim/stats.h"
+
+namespace tilus {
+namespace sim {
+
+/** How the interpreter touches memory. */
+enum class MemoryMode
+{
+    kFunctional, ///< real loads/stores against a Device
+    kGhost,      ///< addresses evaluated and counted, no data moved
+};
+
+/** Options for a kernel execution or trace. */
+struct RunOptions
+{
+    MemoryMode mode = MemoryMode::kFunctional;
+    /** Execute only the first `max_blocks` blocks (-1 = all). */
+    int64_t max_blocks = -1;
+    /** Enable Print instructions (block 0 only). */
+    bool enable_print = true;
+};
+
+/**
+ * Execute (or trace) a kernel.
+ *
+ * @param kernel  lowered kernel
+ * @param args    bound parameter values (pointers are device offsets;
+ *                the workspace pointer is bound internally)
+ * @param device  device memory (may be null in ghost mode)
+ * @param options execution options
+ * @return accumulated statistics over the executed blocks
+ */
+SimStats run(const lir::Kernel &kernel, ir::Env args, Device *device,
+             const RunOptions &options = {});
+
+/**
+ * Trace a single representative block in ghost mode and return its
+ * per-block statistics (the timing model's input).
+ */
+SimStats traceOneBlock(const lir::Kernel &kernel, const ir::Env &args);
+
+} // namespace sim
+} // namespace tilus

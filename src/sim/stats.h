@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Event counters collected while executing (or tracing) a kernel on the
+ * simulator. These are the inputs of the analytical timing model: bytes
+ * moved per memory scope, coalescing sectors, tensor-core and CUDA-core
+ * operation counts, synchronization counts, and the observed cp.async
+ * pipelining structure.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+namespace tilus {
+namespace sim {
+
+/** Counters for one traced/executed region (usually one thread block). */
+struct SimStats
+{
+    // Global memory.
+    int64_t global_load_bytes = 0;
+    int64_t global_store_bytes = 0;
+    int64_t cp_async_bytes = 0;
+    int64_t global_sectors = 0; ///< distinct 32B sectors per warp access
+    int64_t ldg_ops = 0;
+    int64_t stg_ops = 0;
+    int64_t bit_extract_ops = 0; ///< sub-byte fallback accesses
+
+    /// Per-global-tensor read traffic (for the L2 reuse model).
+    std::map<int, int64_t> load_bytes_by_global;
+    std::map<int, int64_t> store_bytes_by_global;
+
+    // Shared memory.
+    int64_t smem_load_bytes = 0;
+    int64_t smem_store_bytes = 0;
+    int64_t lds_ops = 0;
+    int64_t sts_ops = 0;
+    int64_t ldmatrix_ops = 0;
+
+    // Compute.
+    int64_t mma_ops = 0;
+    int64_t mma_flops = 0;
+    int64_t simt_fma = 0;
+    int64_t alu_elt_ops = 0;
+    int64_t cast_vec_elems = 0;
+    int64_t cast_scalar_elems = 0;
+
+    // Synchronization / pipelining.
+    int64_t bar_syncs = 0;
+    int64_t cp_commits = 0;
+    int max_groups_in_flight = 0;
+    bool overlapped = false; ///< copies stayed in flight across compute
+
+    void
+    merge(const SimStats &other)
+    {
+        global_load_bytes += other.global_load_bytes;
+        global_store_bytes += other.global_store_bytes;
+        cp_async_bytes += other.cp_async_bytes;
+        global_sectors += other.global_sectors;
+        ldg_ops += other.ldg_ops;
+        stg_ops += other.stg_ops;
+        bit_extract_ops += other.bit_extract_ops;
+        for (const auto &[id, bytes] : other.load_bytes_by_global)
+            load_bytes_by_global[id] += bytes;
+        for (const auto &[id, bytes] : other.store_bytes_by_global)
+            store_bytes_by_global[id] += bytes;
+        smem_load_bytes += other.smem_load_bytes;
+        smem_store_bytes += other.smem_store_bytes;
+        lds_ops += other.lds_ops;
+        sts_ops += other.sts_ops;
+        ldmatrix_ops += other.ldmatrix_ops;
+        mma_ops += other.mma_ops;
+        mma_flops += other.mma_flops;
+        simt_fma += other.simt_fma;
+        alu_elt_ops += other.alu_elt_ops;
+        cast_vec_elems += other.cast_vec_elems;
+        cast_scalar_elems += other.cast_scalar_elems;
+        bar_syncs += other.bar_syncs;
+        cp_commits += other.cp_commits;
+        max_groups_in_flight =
+            std::max(max_groups_in_flight, other.max_groups_in_flight);
+        overlapped = overlapped || other.overlapped;
+    }
+};
+
+} // namespace sim
+} // namespace tilus

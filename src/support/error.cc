@@ -1,0 +1,33 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace tilus {
+namespace detail {
+
+namespace {
+
+std::string
+formatLocation(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << msg << " [" << file << ":" << line << "]";
+    return oss.str();
+}
+
+} // namespace
+
+void
+throwPanic(const char *file, int line, const std::string &msg)
+{
+    throw PanicError(formatLocation(file, line, msg));
+}
+
+void
+throwFatal(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(formatLocation(file, line, msg));
+}
+
+} // namespace detail
+} // namespace tilus

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Error-handling primitives for Tilus.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant violations
+ * (a bug in Tilus itself), fatal() is for user errors (bad program, invalid
+ * configuration). Both throw typed exceptions so tests can assert on them.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tilus {
+
+/** Base class of all errors raised by the Tilus system. */
+class TilusError : public std::runtime_error
+{
+  public:
+    explicit TilusError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Internal invariant violation: a bug in Tilus itself. */
+class PanicError : public TilusError
+{
+  public:
+    explicit PanicError(const std::string &msg) : TilusError(msg) {}
+};
+
+/** User-caused error: invalid program, configuration, or arguments. */
+class FatalError : public TilusError
+{
+  public:
+    explicit FatalError(const std::string &msg) : TilusError(msg) {}
+};
+
+/** Error raised by the IR verifier for ill-formed Tilus programs. */
+class VerifyError : public FatalError
+{
+  public:
+    explicit VerifyError(const std::string &msg) : FatalError(msg) {}
+};
+
+/** Error raised when a kernel cannot be compiled (e.g. unsupported layout). */
+class CompileError : public FatalError
+{
+  public:
+    explicit CompileError(const std::string &msg) : FatalError(msg) {}
+};
+
+/** Error raised by the simulator during kernel execution. */
+class SimError : public TilusError
+{
+  public:
+    explicit SimError(const std::string &msg) : TilusError(msg) {}
+};
+
+/** Resource-exhaustion error (e.g. device memory), mirrors CUDA OOM. */
+class OutOfMemoryError : public TilusError
+{
+  public:
+    explicit OutOfMemoryError(const std::string &msg) : TilusError(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throwPanic(const char *file, int line, const std::string &msg);
+[[noreturn]] void throwFatal(const char *file, int line, const std::string &msg);
+
+} // namespace detail
+
+} // namespace tilus
+
+/** Abort with an internal-bug diagnostic when @p cond does not hold. */
+#define TILUS_CHECK(cond)                                                     \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::tilus::detail::throwPanic(__FILE__, __LINE__,                   \
+                                        "check failed: " #cond);              \
+        }                                                                     \
+    } while (0)
+
+/** Abort with an internal-bug diagnostic and a formatted message. */
+#define TILUS_CHECK_MSG(cond, msg)                                            \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            std::ostringstream oss_;                                          \
+            oss_ << "check failed: " #cond << ": " << msg;                    \
+            ::tilus::detail::throwPanic(__FILE__, __LINE__, oss_.str());      \
+        }                                                                     \
+    } while (0)
+
+/** Unconditional internal-bug abort. */
+#define TILUS_PANIC(msg)                                                      \
+    do {                                                                      \
+        std::ostringstream oss_;                                              \
+        oss_ << msg;                                                          \
+        ::tilus::detail::throwPanic(__FILE__, __LINE__, oss_.str());          \
+    } while (0)
+
+/** User-error abort: the condition is the user's responsibility. */
+#define TILUS_FATAL_IF(cond, msg)                                             \
+    do {                                                                      \
+        if (cond) {                                                           \
+            std::ostringstream oss_;                                          \
+            oss_ << msg;                                                      \
+            ::tilus::detail::throwFatal(__FILE__, __LINE__, oss_.str());      \
+        }                                                                     \
+    } while (0)

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Integer math helpers shared across the Tilus code base: ceil-division,
+ * power-of-two tests, products, and the ravel/unravel index conversions the
+ * layout algebra of Section 5 is built on.
+ */
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "support/error.h"
+
+namespace tilus {
+
+/** Ceiling division for non-negative integers. */
+constexpr int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+constexpr int64_t
+roundUp(int64_t a, int64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/** True when @p x is a (positive) power of two. */
+constexpr bool
+isPowerOfTwo(int64_t x)
+{
+    return x > 0 && (x & (x - 1)) == 0;
+}
+
+/** Product of all entries (1 for an empty vector). */
+inline int64_t
+product(const std::vector<int64_t> &v)
+{
+    int64_t p = 1;
+    for (int64_t x : v)
+        p *= x;
+    return p;
+}
+
+/**
+ * Convert a multi-dimensional index to its row-major linear index within a
+ * grid of the given shape. Mirrors the `ravel` function of Section 5.
+ */
+inline int64_t
+ravel(const std::vector<int64_t> &index, const std::vector<int64_t> &shape)
+{
+    TILUS_CHECK_MSG(index.size() == shape.size(),
+                    "ravel: rank mismatch " << index.size() << " vs "
+                                            << shape.size());
+    int64_t linear = 0;
+    for (size_t d = 0; d < shape.size(); ++d) {
+        linear = linear * shape[d] + index[d];
+    }
+    return linear;
+}
+
+/**
+ * Convert a row-major linear index back to a multi-dimensional index within
+ * a grid of the given shape. Mirrors the `unravel` function of Section 5.
+ */
+inline std::vector<int64_t>
+unravel(int64_t linear, const std::vector<int64_t> &shape)
+{
+    std::vector<int64_t> index(shape.size());
+    for (size_t d = shape.size(); d-- > 0;) {
+        index[d] = linear % shape[d];
+        linear /= shape[d];
+    }
+    return index;
+}
+
+/** Greatest common divisor (non-negative operands). */
+constexpr int64_t
+gcd64(int64_t a, int64_t b)
+{
+    while (b != 0) {
+        int64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+} // namespace tilus

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for tests and workload
+ * generators. A fixed algorithm (splitmix64 seeding + xoshiro256**) keeps
+ * results reproducible across platforms and standard-library versions.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace tilus {
+
+/** Deterministic 64-bit PRNG (xoshiro256**, splitmix64-seeded). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x74696c7573ULL) // "tilus"
+    {
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be positive. */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    nextRange(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(nextBelow(
+                        static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform float in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [lo, hi). */
+    double
+    nextDouble(double lo, double hi)
+    {
+        return lo + nextDouble() * (hi - lo);
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4] = {};
+};
+
+} // namespace tilus

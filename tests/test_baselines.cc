@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the autotuner and the baseline systems: enumeration size and
+ * validity, deterministic tuning, the dtype/arch support matrices the
+ * paper describes for each system, and the relative-performance shape
+ * invariants the evaluation section reports (Tilus >= baselines, Ladder
+ * collapses without pipelining, speedups grow as weights narrow).
+ */
+#include <gtest/gtest.h>
+
+#include "autotune/tuner.h"
+#include "baselines/baselines.h"
+#include "sim/gpu_spec.h"
+
+namespace tilus {
+namespace {
+
+using baselines::evaluateMatmul;
+using baselines::supportsArch;
+using baselines::supportsDtype;
+using baselines::System;
+
+TEST(Autotune, EnumerationMatchesPaperScale)
+{
+    // "There are around 200 configurations per operator" (Section 9.3).
+    // The default space enumerates the feasible subset per token count;
+    // across the decode/prefill spectrum the operator's space is at the
+    // paper's scale.
+    size_t total = 0;
+    for (int64_t m : {int64_t(1), int64_t(8), int64_t(16), int64_t(64)}) {
+        auto configs = autotune::enumerateConfigs(uint4(), 57344, 8192, m);
+        EXPECT_GE(configs.size(), 20u) << "m=" << m;
+        for (const auto &cfg : configs)
+            EXPECT_TRUE(cfg.valid()) << cfg.name();
+        total += configs.size();
+    }
+    EXPECT_GE(total, 100u);
+    EXPECT_LE(total, 600u);
+}
+
+TEST(Autotune, SmallBatchEnumeratesSimtConfigs)
+{
+    auto configs = autotune::enumerateConfigs(uint4(), 8192, 8192, 1);
+    ASSERT_FALSE(configs.empty());
+    for (const auto &cfg : configs)
+        EXPECT_FALSE(cfg.use_tensor_cores);
+}
+
+TEST(Autotune, TuningIsDeterministic)
+{
+    runtime::Runtime rt(sim::l40s());
+    autotune::TuneSpace space;
+    space.bn = {64, 128};
+    space.bk = {32};
+    space.stages = {2};
+    auto r1 = autotune::tune(rt, uint4(), 2048, 2048, 16, {}, {}, space);
+    auto r2 = autotune::tune(rt, uint4(), 2048, 2048, 16, {}, {}, space);
+    EXPECT_EQ(r1.config.name(), r2.config.name());
+    EXPECT_DOUBLE_EQ(r1.latency.total_us, r2.latency.total_us);
+    EXPECT_GT(r1.candidates_tried, 1);
+}
+
+TEST(Baselines, DtypeSupportMatrixMatchesPaper)
+{
+    // Triton/Ladder: power-of-two integer widths only.
+    EXPECT_TRUE(supportsDtype(System::kTriton, uint4()));
+    EXPECT_TRUE(supportsDtype(System::kLadder, uint8()));
+    EXPECT_FALSE(supportsDtype(System::kTriton, float6e3m2()));
+    EXPECT_FALSE(supportsDtype(System::kLadder, int6()));
+    EXPECT_FALSE(supportsDtype(System::kLadder, uint3()));
+    // QuantLLM: fp5/fp6 only.
+    EXPECT_TRUE(supportsDtype(System::kQuantLlm, float6e3m2()));
+    EXPECT_TRUE(supportsDtype(System::kQuantLlm, float5e2m2()));
+    EXPECT_FALSE(supportsDtype(System::kQuantLlm, uint4()));
+    EXPECT_FALSE(supportsDtype(System::kQuantLlm, float8e4m3()));
+    // Marlin: 4-bit integers only.
+    EXPECT_TRUE(supportsDtype(System::kMarlin, int4()));
+    EXPECT_TRUE(supportsDtype(System::kMarlin, uint4()));
+    EXPECT_FALSE(supportsDtype(System::kMarlin, uint8()));
+    // Tilus: the whole 1-8 bit spectrum plus f16.
+    for (const DataType &w : fullWeightSpectrum())
+        EXPECT_TRUE(supportsDtype(System::kTilus, w)) << w.name();
+    EXPECT_TRUE(supportsDtype(System::kTilus, float16()));
+}
+
+TEST(Baselines, ArchSupportMatchesPaper)
+{
+    // Fig. 13: Ladder errors on Hopper; Marlin has no Hopper kernels.
+    EXPECT_TRUE(supportsArch(System::kLadder, sim::l40s()));
+    EXPECT_TRUE(supportsArch(System::kLadder, sim::a100()));
+    EXPECT_FALSE(supportsArch(System::kLadder, sim::h100()));
+    EXPECT_FALSE(supportsArch(System::kMarlin, sim::h100()));
+    EXPECT_TRUE(supportsArch(System::kTilus, sim::h100()));
+    EXPECT_TRUE(supportsArch(System::kCublas, sim::h100()));
+}
+
+TEST(Baselines, UnsupportedCellsReportReasons)
+{
+    runtime::Runtime l40s(sim::l40s());
+    auto r = evaluateMatmul(System::kQuantLlm, l40s, uint4(), 2048, 2048,
+                            16, 128);
+    EXPECT_FALSE(r.supported);
+    runtime::Runtime h100(sim::h100());
+    auto err = evaluateMatmul(System::kLadder, h100, uint4(), 2048, 2048,
+                              16, 128);
+    EXPECT_FALSE(err.supported);
+    EXPECT_EQ(err.reason, "ERR");
+}
+
+// The relative-performance shape of Figure 10, asserted as invariants on
+// a reduced problem so the whole check stays fast.
+class Figure10Shape : public ::testing::Test
+{
+  protected:
+    static constexpr int64_t kN = 8192, kK = 8192, kGroup = 128;
+
+    double
+    latency(System system, DataType w, int64_t m)
+    {
+        auto result = evaluateMatmul(system, rt_, w, kN, kK, m, kGroup);
+        EXPECT_TRUE(result.supported);
+        return result.latency_us;
+    }
+
+    runtime::Runtime rt_{sim::l40s()};
+};
+
+TEST_F(Figure10Shape, TilusBeatsEveryBaselineOnU4)
+{
+    for (int64_t m : {int64_t(1), int64_t(16)}) {
+        double tilus = latency(System::kTilus, uint4(), m);
+        EXPECT_LT(tilus, latency(System::kTriton, uint4(), m));
+        EXPECT_LT(tilus, latency(System::kLadder, uint4(), m));
+        EXPECT_LE(tilus, latency(System::kMarlin, uint4(), m) * 1.05);
+        EXPECT_LT(tilus, latency(System::kCublas, uint4(), m));
+    }
+}
+
+TEST_F(Figure10Shape, SpeedupGrowsAsWeightsNarrow)
+{
+    double cublas = latency(System::kCublas, float16(), 16);
+    double last_speedup = 0;
+    for (DataType w : {uint8(), uint4(), uint2(), uint1()}) {
+        double speedup = cublas / latency(System::kTilus, w, 16);
+        EXPECT_GT(speedup, last_speedup) << w.name();
+        last_speedup = speedup;
+    }
+    EXPECT_GT(last_speedup, 4.0); // u1 well above 4x
+}
+
+TEST_F(Figure10Shape, LadderCollapsesWithoutPipelining)
+{
+    // The paper attributes Ladder's decode-batch>=1 gap to missing
+    // software pipelining; the gap must be visible and material.
+    double tilus = latency(System::kTilus, uint4(), 16);
+    double ladder = latency(System::kLadder, uint4(), 16);
+    EXPECT_GT(ladder / tilus, 1.3);
+}
+
+TEST_F(Figure10Shape, MarlinIsCloseToTilusOn4Bit)
+{
+    // Paper: Tilus/Marlin ~= 1.03x.
+    double tilus = latency(System::kTilus, uint4(), 16);
+    double marlin = latency(System::kMarlin, uint4(), 16);
+    EXPECT_LT(marlin / tilus, 1.5);
+    EXPECT_GE(marlin / tilus, 0.95);
+}
+
+TEST_F(Figure10Shape, QuantLlmTrailsTilusOnF6)
+{
+    double tilus = latency(System::kTilus, float6e3m2(), 16);
+    double quantllm = latency(System::kQuantLlm, float6e3m2(), 16);
+    EXPECT_GT(quantllm / tilus, 1.02);
+}
+
+} // namespace
+} // namespace tilus

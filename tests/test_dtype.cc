@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Unit and property tests for the data-type system: type registry and
+ * naming, float codecs (round-trip, rounding, saturation, subnormals),
+ * compact sub-byte packing (Figure 8), and the reference value casts.
+ */
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "dtype/cast.h"
+#include "dtype/data_type.h"
+#include "dtype/float_codec.h"
+#include "dtype/packing.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace tilus {
+namespace {
+
+TEST(DataType, NamesAreCanonical)
+{
+    EXPECT_EQ(uint4().name(), "u4");
+    EXPECT_EQ(int6().name(), "i6");
+    EXPECT_EQ(uint1().name(), "u1");
+    EXPECT_EQ(float16().name(), "f16");
+    EXPECT_EQ(bfloat16().name(), "bf16");
+    EXPECT_EQ(tfloat32().name(), "tf32");
+    EXPECT_EQ(float32().name(), "f32");
+    EXPECT_EQ(float64().name(), "f64");
+    EXPECT_EQ(float6e3m2().name(), "f6e3m2");
+    EXPECT_EQ(float3e1m1().name(), "f3e1m1");
+}
+
+TEST(DataType, ShortNamesMatchPaperFigures)
+{
+    EXPECT_EQ(float6e3m2().shortName(), "f6");
+    EXPECT_EQ(uint4().shortName(), "u4");
+    EXPECT_EQ(int4().shortName(), "i4");
+}
+
+TEST(DataType, FromNameRoundTrips)
+{
+    for (const DataType &dt : fullWeightSpectrum()) {
+        EXPECT_EQ(DataType::fromName(dt.name()), dt) << dt.name();
+    }
+    EXPECT_EQ(DataType::fromName("f16"), float16());
+    EXPECT_EQ(DataType::fromName("bf16"), bfloat16());
+    EXPECT_EQ(DataType::fromName("i32"), int32());
+}
+
+TEST(DataType, SubBytePredicate)
+{
+    EXPECT_TRUE(uint7().isSubByte());
+    EXPECT_TRUE(float3e1m1().isSubByte());
+    EXPECT_FALSE(uint8().isSubByte());
+    EXPECT_FALSE(float16().isSubByte());
+}
+
+TEST(DataType, IntegerRanges)
+{
+    EXPECT_EQ(int4().minValue(), -8.0);
+    EXPECT_EQ(int4().maxValue(), 7.0);
+    EXPECT_EQ(uint4().minValue(), 0.0);
+    EXPECT_EQ(uint4().maxValue(), 15.0);
+    EXPECT_EQ(uint1().maxValue(), 1.0);
+    EXPECT_EQ(int2().minValue(), -2.0);
+    EXPECT_EQ(int2().maxValue(), 1.0);
+}
+
+TEST(DataType, FullSpectrumHas21Types)
+{
+    // uint1..8 (8) + int2..8 (7) + float3..8 (6).
+    EXPECT_EQ(fullWeightSpectrum().size(), 21u);
+}
+
+TEST(DataType, InvalidConstructionsFail)
+{
+    EXPECT_THROW(DataType::makeUInt(0), FatalError);
+    EXPECT_THROW(DataType::makeUInt(65), FatalError);
+    EXPECT_THROW(DataType::makeInt(1), FatalError);
+    EXPECT_THROW(DataType::makeFloat(6, 0, 5), FatalError);
+    EXPECT_THROW(DataType::makeFloat(6, 3, 3), FatalError); // 1+3+3 != 6
+}
+
+// ---------------------------------------------------------------------------
+// Float codec
+// ---------------------------------------------------------------------------
+
+class SubByteFloatCodec : public ::testing::TestWithParam<DataType>
+{};
+
+TEST_P(SubByteFloatCodec, EveryBitPatternRoundTrips)
+{
+    const DataType dt = GetParam();
+    const uint64_t count = 1ULL << dt.bits();
+    for (uint64_t bits = 0; bits < count; ++bits) {
+        double value = decodeFloat(dt, bits);
+        ASSERT_TRUE(std::isfinite(value))
+            << dt.name() << " pattern " << bits;
+        uint64_t back = encodeFloat(dt, value);
+        // -0.0 and +0.0 decode equal; accept either encoding.
+        if (value == 0.0) {
+            EXPECT_EQ(back & ((1ULL << (dt.bits() - 1)) - 1), 0u);
+        } else {
+            EXPECT_EQ(back, bits)
+                << dt.name() << " value " << value << " pattern " << bits;
+        }
+    }
+}
+
+TEST_P(SubByteFloatCodec, EncodingSaturates)
+{
+    const DataType dt = GetParam();
+    double max = dt.maxValue();
+    EXPECT_EQ(decodeFloat(dt, encodeFloat(dt, max * 64)), max);
+    EXPECT_EQ(decodeFloat(dt, encodeFloat(dt, -max * 64)), -max);
+    EXPECT_EQ(decodeFloat(dt, encodeFloat(
+                              dt, std::numeric_limits<double>::infinity())),
+              max);
+}
+
+TEST_P(SubByteFloatCodec, ZeroEncodesToZero)
+{
+    const DataType dt = GetParam();
+    EXPECT_EQ(decodeFloat(dt, encodeFloat(dt, 0.0)), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSubByteFloats, SubByteFloatCodec,
+    ::testing::Values(float8e4m3(), float7e3m3(), float6e3m2(),
+                      float5e2m2(), float4e2m1(), float3e1m1(),
+                      DataType::makeFloat(8, 5, 2),
+                      DataType::makeFloat(8, 2, 5),
+                      DataType::makeFloat(4, 1, 2),
+                      DataType::makeFloat(5, 3, 1)),
+    [](const auto &info) { return info.param.name(); });
+
+TEST(FloatCodec, HalfPrecisionKnownValues)
+{
+    EXPECT_EQ(floatToF16Bits(0.0f), 0x0000);
+    EXPECT_EQ(floatToF16Bits(1.0f), 0x3C00);
+    EXPECT_EQ(floatToF16Bits(-2.0f), 0xC000);
+    EXPECT_EQ(floatToF16Bits(65504.0f), 0x7BFF); // max finite half
+    EXPECT_EQ(f16BitsToFloat(0x3C00), 1.0f);
+    EXPECT_EQ(f16BitsToFloat(0x7C00),
+              std::numeric_limits<float>::infinity());
+    EXPECT_TRUE(std::isnan(f16BitsToFloat(0x7C01)));
+    // Smallest subnormal half: 2^-24.
+    EXPECT_EQ(f16BitsToFloat(0x0001), std::ldexp(1.0f, -24));
+}
+
+TEST(FloatCodec, HalfPrecisionRoundToNearestEven)
+{
+    // 1.0 + 2^-11 is exactly between 1.0 and 1.0+2^-10: ties to even (1.0).
+    EXPECT_EQ(floatToF16Bits(1.0f + std::ldexp(1.0f, -11)), 0x3C00);
+    // 1.0 + 3*2^-11 is between two representables; ties to even (upper).
+    EXPECT_EQ(floatToF16Bits(1.0f + 3 * std::ldexp(1.0f, -11)), 0x3C02);
+    // Just above the midpoint rounds up.
+    EXPECT_EQ(floatToF16Bits(1.0f + std::ldexp(1.2f, -11)), 0x3C01);
+}
+
+TEST(FloatCodec, HalfOverflowBecomesInfinity)
+{
+    EXPECT_EQ(floatToF16Bits(1.0e6f), 0x7C00);
+    EXPECT_EQ(floatToF16Bits(-1.0e6f), 0xFC00);
+}
+
+TEST(FloatCodec, BFloat16TruncatesF32Exponent)
+{
+    EXPECT_EQ(bf16BitsToFloat(floatToBf16Bits(1.0f)), 1.0f);
+    EXPECT_EQ(bf16BitsToFloat(floatToBf16Bits(-0.5f)), -0.5f);
+    // bf16 has f32's range: 1e38 survives.
+    float big = 1.0e38f;
+    float round_tripped = bf16BitsToFloat(floatToBf16Bits(big));
+    EXPECT_NEAR(round_tripped / big, 1.0, 0.01);
+}
+
+TEST(FloatCodec, F16AllPatternsRoundTrip)
+{
+    for (uint32_t bits = 0; bits < 0x10000; ++bits) {
+        double v = decodeFloatBits(bits, 5, 10, true);
+        if (std::isnan(v))
+            continue;
+        uint64_t back = encodeFloatBits(v, 5, 10, true);
+        if (v == 0.0) {
+            EXPECT_EQ(back & 0x7FFF, 0u);
+        } else {
+            ASSERT_EQ(back, bits) << "pattern " << bits;
+        }
+    }
+}
+
+TEST(FloatCodec, F6E3M2SpotValues)
+{
+    // f6e3m2: bias 3; pattern 0b001100 = exp 3 -> 2^0 * 1.0 = 1.0.
+    const DataType f6 = float6e3m2();
+    EXPECT_EQ(decodeFloat(f6, 0b001100), 1.0);
+    // mantissa steps of 0.25: 0b001101 -> 1.25.
+    EXPECT_EQ(decodeFloat(f6, 0b001101), 1.25);
+    // max finite: exp 7 (no IEEE specials), mantissa 3: 1.75 * 2^4 = 28.
+    EXPECT_EQ(f6.maxValue(), 28.0);
+    // smallest subnormal: 0.25 * 2^-2 = 2^-4.
+    EXPECT_EQ(decodeFloat(f6, 0b000001), std::ldexp(1.0, -4));
+    // sign bit.
+    EXPECT_EQ(decodeFloat(f6, 0b101100), -1.0);
+}
+
+TEST(FloatCodec, E4M3MatchesOcpStyleSaturation)
+{
+    const DataType f8 = float8e4m3();
+    // bias 7, max exp 8, max mantissa 1.875 -> 480.
+    EXPECT_EQ(f8.maxValue(), 480.0);
+    EXPECT_EQ(decodeFloat(f8, encodeFloat(f8, 1000.0)), 480.0);
+}
+
+// ---------------------------------------------------------------------------
+// Packing (Section 7.1, Figure 8)
+// ---------------------------------------------------------------------------
+
+TEST(Packing, Figure8Int5Example)
+{
+    // Three int5 values b[0..2] packed into two bytes; b[1] spans both.
+    uint8_t bytes[2] = {0, 0};
+    setBits(bytes, 0 * 5, 5, 0b10101);
+    setBits(bytes, 1 * 5, 5, 0b11011);
+    setBits(bytes, 2 * 5, 5, 0b00110);
+    // b[0] occupies bits 0-4 of byte 0, b[1] bits 5-9, b[2] bits 10-14.
+    EXPECT_EQ(getBits(bytes, 0, 5), 0b10101u);
+    EXPECT_EQ(getBits(bytes, 5, 5), 0b11011u);
+    EXPECT_EQ(getBits(bytes, 10, 5), 0b00110u);
+    // Low 3 bits of b[1] live in the top of byte 0 (paper's B[0] mask).
+    EXPECT_EQ(static_cast<unsigned>(bytes[0]) >> 5, 0b011u);
+    // High 2 bits of b[1] live in the bottom of byte 1.
+    EXPECT_EQ(static_cast<unsigned>(bytes[1]) & 0b11, 0b11u);
+}
+
+TEST(Packing, StorePreservesNeighbours)
+{
+    uint8_t bytes[4];
+    std::fill(std::begin(bytes), std::end(bytes), 0xFF);
+    setBits(bytes, 7, 6, 0); // clears bits 7..12 only
+    EXPECT_EQ(getBits(bytes, 0, 7), 0x7Fu);
+    EXPECT_EQ(getBits(bytes, 7, 6), 0u);
+    EXPECT_EQ(getBits(bytes, 13, 11), 0x7FFu);
+}
+
+class PackingWidth : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PackingWidth, RandomRoundTrip)
+{
+    const int width = GetParam();
+    const int64_t numel = 257; // odd count -> many spanning elements
+    PackedBuffer buf(DataType::makeUInt(width), numel);
+    Rng rng(width);
+    std::vector<uint64_t> expected(numel);
+    for (int64_t i = 0; i < numel; ++i) {
+        expected[i] = rng.next() & ((1ULL << width) - 1);
+        buf.setRaw(i, expected[i]);
+    }
+    for (int64_t i = 0; i < numel; ++i)
+        ASSERT_EQ(buf.getRaw(i), expected[i]) << "i=" << i;
+    // Rewrite in reverse order with new values; check again.
+    for (int64_t i = numel - 1; i >= 0; --i) {
+        expected[i] = rng.next() & ((1ULL << width) - 1);
+        buf.setRaw(i, expected[i]);
+    }
+    for (int64_t i = 0; i < numel; ++i)
+        ASSERT_EQ(buf.getRaw(i), expected[i]) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, PackingWidth,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 11, 13,
+                                           16, 24, 32, 48, 64));
+
+TEST(Packing, PackedByteSizeIsCeilOfBits)
+{
+    EXPECT_EQ(packedByteSize(uint3(), 8), 3);   // 24 bits
+    EXPECT_EQ(packedByteSize(uint5(), 3), 2);   // 15 bits
+    EXPECT_EQ(packedByteSize(uint1(), 9), 2);   // 9 bits
+    EXPECT_EQ(packedByteSize(float16(), 4), 8); // standard types exact
+}
+
+// ---------------------------------------------------------------------------
+// Reference casts
+// ---------------------------------------------------------------------------
+
+TEST(Cast, SignExtension)
+{
+    EXPECT_EQ(signExtend(0b111111, 6), -1);
+    EXPECT_EQ(signExtend(0b100000, 6), -32);
+    EXPECT_EQ(signExtend(0b011111, 6), 31);
+    EXPECT_EQ(signExtend(0b1, 1), -1);
+    EXPECT_EQ(signExtend(0xFFFFFFFFFFFFFFFFull, 64), -1);
+}
+
+TEST(Cast, IntegerEncodeSaturates)
+{
+    EXPECT_EQ(encodeValue(int4(), 100.0), 0x7u);
+    EXPECT_EQ(decodeValue(int4(), encodeValue(int4(), -100.0)), -8.0);
+    EXPECT_EQ(decodeValue(uint4(), encodeValue(uint4(), -3.0)), 0.0);
+    EXPECT_EQ(decodeValue(uint4(), encodeValue(uint4(), 99.0)), 15.0);
+}
+
+TEST(Cast, IntegerRoundHalfEven)
+{
+    EXPECT_EQ(decodeValue(int8(), encodeValue(int8(), 2.5)), 2.0);
+    EXPECT_EQ(decodeValue(int8(), encodeValue(int8(), 3.5)), 4.0);
+    EXPECT_EQ(decodeValue(int8(), encodeValue(int8(), -2.5)), -2.0);
+}
+
+class SpectrumCast : public ::testing::TestWithParam<DataType>
+{};
+
+TEST_P(SpectrumCast, EveryStoredValueDecodesAndReencodes)
+{
+    const DataType dt = GetParam();
+    const uint64_t count = 1ULL << dt.bits();
+    for (uint64_t bits = 0; bits < count; ++bits) {
+        double v = decodeValue(dt, bits);
+        uint64_t back = encodeValue(dt, v);
+        if (dt.isFloat() && v == 0.0) {
+            EXPECT_EQ(back & ((1ULL << (dt.bits() - 1)) - 1), 0u);
+        } else {
+            ASSERT_EQ(back, bits) << dt.name() << " bits " << bits;
+        }
+        // Every representable value is within [min, max].
+        EXPECT_GE(v, dt.minValue()) << dt.name();
+        EXPECT_LE(v, dt.maxValue()) << dt.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullWeightSpectrum, SpectrumCast,
+    ::testing::ValuesIn(fullWeightSpectrum()),
+    [](const auto &info) { return info.param.name(); });
+
+} // namespace
+} // namespace tilus
