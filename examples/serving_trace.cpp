@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Walk through the serving subsystem end to end: generate a Poisson
+ * request trace, serve it with Tilus u4 Gemma-2-9B on the simulated
+ * L40S through the FCFS continuous-batching scheduler, and print every
+ * request's lifecycle (arrival -> admission -> first token -> done)
+ * plus the aggregate report; then repeat the same requests as a
+ * closed-loop run with four clients to show the other loop discipline.
+ */
+#include <cstdio>
+
+#include "llm/engine.h"
+#include "serving/simulator.h"
+#include "sim/gpu_spec.h"
+
+using namespace tilus;
+
+namespace {
+
+void
+printReport(const serving::ServingReport &report)
+{
+    std::printf("\n%-4s %8s %7s %7s %9s %9s %9s %9s\n", "id", "arrive",
+                "prompt", "output", "admitted", "1st-tok", "finish",
+                "latency");
+    for (const serving::RequestState &state : report.requests) {
+        const serving::Request &request = state.request;
+        if (state.phase != serving::Phase::kFinished) {
+            std::printf("%-4ld %8.1f %7ld %7ld %9s\n", long(request.id),
+                        request.arrival_ms, long(request.prompt_tokens),
+                        long(request.output_tokens),
+                        serving::phaseName(state.phase));
+            continue;
+        }
+        std::printf("%-4ld %8.1f %7ld %7ld %9.1f %9.1f %9.1f %9.1f\n",
+                    long(request.id), request.arrival_ms,
+                    long(request.prompt_tokens),
+                    long(request.output_tokens), state.admitted_ms,
+                    state.first_token_ms, state.finish_ms,
+                    state.finish_ms - request.arrival_ms);
+    }
+    std::printf("\n%ld/%ld done in %.0f ms | %.1f tok/s | ttft p50 %.1f "
+                "ms | tpot p50 %.2f ms | latency p95 %.1f ms | mean "
+                "decode batch %.1f\n",
+                long(report.completed), long(report.total_requests),
+                report.makespan_ms, report.throughput_tok_s,
+                report.ttft.p50, report.tpot.p50, report.latency.p95,
+                report.mean_decode_batch);
+}
+
+} // namespace
+
+int
+main()
+{
+    runtime::Runtime rt(sim::l40s());
+    llm::EngineOptions engine_options;
+    engine_options.system = baselines::System::kTilus;
+    engine_options.wdtype = uint4();
+    llm::ServingEngine engine(rt, llm::gemma2_9b(), engine_options);
+    std::printf("engine: %s, %s weights, KV capacity %ld tokens, max "
+                "batch %ld\n",
+                engine.model().name.c_str(),
+                engine.options().wdtype.name().c_str(),
+                long(engine.kvCapacityTokens()), long(engine.maxBatch()));
+
+    serving::TraceOptions trace_options;
+    trace_options.num_requests = 12;
+    trace_options.rate_rps = 8.0;
+    trace_options.prompt_max = 256;
+    trace_options.output_min = 16;
+    trace_options.output_max = 48;
+    trace_options.seed = 7;
+
+    serving::FcfsScheduler scheduler;
+    serving::SimOptions sim_options;
+    sim_options.limits = serving::limitsFrom(engine);
+    serving::Simulator simulator(engine, scheduler, sim_options);
+
+    std::printf("\n== open loop: Poisson %.0f req/s ==\n",
+                trace_options.rate_rps);
+    printReport(simulator.run(serving::poissonTrace(trace_options)));
+
+    std::printf("\n== closed loop: 4 clients, same request mix ==\n");
+    printReport(
+        simulator.run(serving::closedLoopTrace(trace_options, 4)));
+    return 0;
+}

@@ -66,15 +66,6 @@ extrapolate(const sim::SimStats &s1, const sim::SimStats &s2, double extra)
 }
 
 /** Bind every kernel parameter: the token count by name, pointers to 0. */
-std::vector<runtime::KernelArg>
-ghostArgs(const lir::Kernel &kernel, int64_t m)
-{
-    std::vector<runtime::KernelArg> args;
-    for (const ir::Var &p : kernel.params)
-        args.push_back({p, p.name() == "m" ? m : 0});
-    return args;
-}
-
 ir::Env
 ghostEnv(const lir::Kernel &kernel, int64_t m)
 {

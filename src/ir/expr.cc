@@ -65,7 +65,7 @@ Expr
 makeBinary(BinaryOp op, Expr a, Expr b)
 {
     TILUS_CHECK(a != nullptr && b != nullptr);
-    int64_t va, vb;
+    int64_t va = 0, vb = 0;
     const bool ca = isConst(a, va);
     const bool cb = isConst(b, vb);
     DataType dtype = a->dtype();

@@ -54,8 +54,16 @@ ServingEngine::matmulUs(const LinearShape &shape, int64_t m,
 }
 
 double
-ServingEngine::stepMs(int64_t tokens, bool prefill)
+ServingEngine::stepMs(int64_t tokens, int64_t past_tokens, bool prefill)
 {
+    TILUS_FATAL_IF(tokens <= 0, "stepMs: non-positive token count "
+                                    << tokens);
+    TILUS_FATAL_IF(past_tokens < 0 || (!prefill && past_tokens != 0),
+                   "stepMs: invalid past context " << past_tokens);
+    auto cached = step_cache_.find({tokens, past_tokens, prefill});
+    if (cached != step_cache_.end())
+        return cached->second;
+
     const auto &spec = rt_.spec();
     double us = 0;
 
@@ -68,9 +76,13 @@ ServingEngine::stepMs(int64_t tokens, bool prefill)
     // score/value matmuls in prefill. Identical across systems.
     const double dram_bps = spec.dram_gbps * 1e9;
     if (prefill) {
-        // Scores + V-aggregation: 2 * 2 * T^2 * heads * head_dim flops.
-        double flops = 4.0 * double(tokens) * tokens * model_.heads *
-                       model_.head_dim * model_.layers;
+        // Scores + V-aggregation: 2 * 2 * T^2 * heads * head_dim flops
+        // for a whole prompt. A chunk of C new tokens with P past
+        // context is charged C * (2P + C), which telescopes so that the
+        // chunks of a prompt sum exactly to the one-shot T^2 cost.
+        double flops = 4.0 * double(tokens) *
+                       (2.0 * double(past_tokens) + double(tokens)) *
+                       model_.heads * model_.head_dim * model_.layers;
         us += flops / (spec.fp16_tc_tflops * 1e12) * 1e6;
         // KV-cache write.
         us += double(model_.kvBytesPerToken()) * tokens / dram_bps * 1e6;
@@ -91,19 +103,20 @@ ServingEngine::stepMs(int64_t tokens, bool prefill)
     LinearShape head{"lm_head", model_.vocab, model_.hidden};
     us += matmulUs(head, tokens, /*quantized=*/false);
 
+    step_cache_[{tokens, past_tokens, prefill}] = us / 1000.0;
     return us / 1000.0;
 }
 
 double
 ServingEngine::decodeMs(int64_t batch)
 {
-    return stepMs(batch, /*prefill=*/false);
+    return stepMs(batch, /*past_tokens=*/0, /*prefill=*/false);
 }
 
 double
-ServingEngine::prefillMs(int64_t tokens)
+ServingEngine::prefillMs(int64_t tokens, int64_t past_tokens)
 {
-    return stepMs(tokens, /*prefill=*/true);
+    return stepMs(tokens, past_tokens, /*prefill=*/true);
 }
 
 } // namespace llm

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <map>
+#include <tuple>
 
 #include "baselines/baselines.h"
 #include "llm/model_config.h"
@@ -33,8 +34,47 @@ struct EngineOptions
     int64_t max_batch = 16;     ///< KV reservation assumes this many
 };
 
+/**
+ * Abstract per-iteration cost model consumed by the serving layer
+ * (src/serving/): everything a continuous-batching scheduler needs to
+ * know about the engine, with no per-call footprint re-checks — capacity
+ * is established once at construction and exposed as plain numbers.
+ * Implemented by ServingEngine (simulated kernels) and by the synthetic
+ * models the serving tests use.
+ */
+class StepCostModel
+{
+  public:
+    virtual ~StepCostModel() = default;
+
+    /** Latency of one decode step serving `batch` requests (ms). */
+    virtual double decodeMs(int64_t batch) = 0;
+
+    /**
+     * Latency of one prefill step over `tokens` new prompt tokens with
+     * `past_tokens` of already-prefilled context (ms). Attention in a
+     * chunk attends to everything before it, so chunking a prompt must
+     * sum to the one-shot cost: implementations price the attention
+     * term as tokens * (2*past + tokens), which telescopes exactly.
+     */
+    virtual double prefillMs(int64_t tokens, int64_t past_tokens) = 0;
+
+    /** One-shot prefill over a whole prompt. */
+    double prefillMs(int64_t tokens) { return prefillMs(tokens, 0); }
+
+    /** KV-cache tokens reserved on the device at construction. */
+    virtual int64_t kvCapacityTokens() const = 0;
+
+    /** Concurrent requests the KV reservation assumes. */
+    virtual int64_t maxBatch() const = 0;
+
+    /** Per-request context window the decode cost model assumes; a
+        request whose prompt + output exceeds this cannot be served. */
+    virtual int64_t contextTokens() const = 0;
+};
+
 /** A served model instance on one simulated GPU. */
-class ServingEngine
+class ServingEngine : public StepCostModel
 {
   public:
     /**
@@ -44,17 +84,35 @@ class ServingEngine
     ServingEngine(runtime::Runtime &rt, ModelConfig model,
                   EngineOptions options);
 
-    /** Latency of one decode step serving `batch` requests (ms). */
-    double decodeMs(int64_t batch);
+    /**
+     * Latency of one decode step serving `batch` requests (ms).
+     * Memoized per batch size: the first call tunes and simulates the
+     * step's kernels, repeated calls are O(log n) lookups — the serving
+     * event loop issues millions of these.
+     */
+    double decodeMs(int64_t batch) override;
 
-    /** Latency of one prefill over `tokens` prompt tokens (ms). */
-    double prefillMs(int64_t tokens);
+    /** Latency of one prefill chunk (ms), memoized; see StepCostModel. */
+    double prefillMs(int64_t tokens, int64_t past_tokens) override;
+    using StepCostModel::prefillMs;
+
+    int64_t kvCapacityTokens() const override
+    {
+        return options_.context_tokens * options_.max_batch;
+    }
+
+    int64_t maxBatch() const override { return options_.max_batch; }
+
+    int64_t contextTokens() const override
+    {
+        return options_.context_tokens;
+    }
 
     const ModelConfig &model() const { return model_; }
     const EngineOptions &options() const { return options_; }
 
   private:
-    double stepMs(int64_t tokens, bool prefill);
+    double stepMs(int64_t tokens, int64_t past_tokens, bool prefill);
     double matmulUs(const LinearShape &shape, int64_t m,
                     bool quantized);
 
@@ -62,6 +120,10 @@ class ServingEngine
     ModelConfig model_;
     EngineOptions options_;
     std::map<std::string, double> matmul_cache_;
+    /** (tokens, past, prefill) -> ms. Distinct `past` values only add
+        analytic attention math — the tuned matmul costs are keyed by
+        `tokens` alone in matmul_cache_. */
+    std::map<std::tuple<int64_t, int64_t, bool>, double> step_cache_;
 };
 
 } // namespace llm

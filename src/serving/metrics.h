@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Aggregated serving metrics: the workload-level numbers (TTFT, TPOT,
+ * end-to-end latency tails, throughput, goodput, queue/batch occupancy)
+ * that Sections 9.4-9.5-style end-to-end evaluations report, plus a
+ * line-oriented JSON serialization so benchmark sweeps can be recorded
+ * and diffed across PRs (see bench/bench_serving.cc and
+ * BENCH_serving.json).
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serving/scheduler.h"
+#include "support/percentile.h"
+
+namespace tilus {
+namespace serving {
+
+/** Mean + tail summary of one latency distribution (milliseconds). */
+struct LatencySummary
+{
+    int64_t count = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+};
+
+/** Summarize a sample set (ms) into mean and interpolated tails. */
+inline LatencySummary
+summarize(const std::vector<double> &samples)
+{
+    LatencySummary s;
+    s.count = static_cast<int64_t>(samples.size());
+    s.mean = meanOf(samples);
+    s.p50 = percentile(samples, 50);
+    s.p95 = percentile(samples, 95);
+    s.p99 = percentile(samples, 99);
+    return s;
+}
+
+/** The full result of one Simulator::run. */
+struct ServingReport
+{
+    // Identity of the run (filled by the harness, free-form).
+    std::string scheduler;
+    std::string system;
+    std::string model;
+    std::string wdtype;
+    double rate_rps = 0;
+    uint64_t seed = 0;
+
+    // Volume.
+    int64_t total_requests = 0;
+    int64_t completed = 0;
+    int64_t rejected = 0;   ///< demand exceeded capacity outright
+    int64_t prompt_tokens = 0;  ///< prompt tokens of completed requests
+    int64_t output_tokens = 0;  ///< tokens generated for completed requests
+    int64_t prefill_steps = 0;
+    int64_t decode_steps = 0;
+
+    // Time and rates (virtual clock).
+    double makespan_ms = 0;       ///< last completion time
+    double throughput_tok_s = 0;  ///< output tokens per second
+    double request_per_s = 0;     ///< completed requests per second
+    double goodput_req_s = 0;     ///< completions meeting their SLO, per s
+
+    // Distributions (ms over completed requests).
+    LatencySummary ttft;       ///< arrival -> first output token
+    LatencySummary tpot;       ///< mean inter-token time after the first
+    LatencySummary latency;    ///< arrival -> completion
+    LatencySummary queue_wait; ///< arrival -> admission
+
+    // Occupancy.
+    double mean_queue_depth = 0;  ///< time-weighted queued requests
+    int64_t max_queue_depth = 0;
+    double mean_decode_batch = 0; ///< decode-step occupancy
+    std::vector<int64_t> batch_histogram; ///< index = decode batch size
+
+    // Per-request lifecycle, in trace order (not serialized; used by
+    // tests and trace printers).
+    std::vector<RequestState> requests;
+
+    std::string toJson() const;
+};
+
+namespace detail {
+
+inline std::string
+jsonNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/** Escape a free-form identity string for a JSON string literal. */
+inline std::string
+jsonStr(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+inline void
+appendSummary(std::ostringstream &oss, const char *key,
+              const LatencySummary &s)
+{
+    oss << "\"" << key << "\":{\"mean\":" << jsonNum(s.mean)
+        << ",\"p50\":" << jsonNum(s.p50) << ",\"p95\":" << jsonNum(s.p95)
+        << ",\"p99\":" << jsonNum(s.p99) << "}";
+}
+
+} // namespace detail
+
+inline std::string
+ServingReport::toJson() const
+{
+    std::ostringstream oss;
+    oss << "{\"scheduler\":\"" << detail::jsonStr(scheduler)
+        << "\",\"system\":\"" << detail::jsonStr(system)
+        << "\",\"model\":\"" << detail::jsonStr(model)
+        << "\",\"wdtype\":\"" << detail::jsonStr(wdtype)
+        << "\",\"rate_rps\":" << detail::jsonNum(rate_rps)
+        << ",\"seed\":" << seed << ",\"total_requests\":" << total_requests
+        << ",\"completed\":" << completed << ",\"rejected\":" << rejected
+        << ",\"prompt_tokens\":" << prompt_tokens
+        << ",\"output_tokens\":" << output_tokens
+        << ",\"prefill_steps\":" << prefill_steps
+        << ",\"decode_steps\":" << decode_steps
+        << ",\"makespan_ms\":" << detail::jsonNum(makespan_ms)
+        << ",\"throughput_tok_s\":" << detail::jsonNum(throughput_tok_s)
+        << ",\"request_per_s\":" << detail::jsonNum(request_per_s)
+        << ",\"goodput_req_s\":" << detail::jsonNum(goodput_req_s) << ",";
+    detail::appendSummary(oss, "ttft_ms", ttft);
+    oss << ",";
+    detail::appendSummary(oss, "tpot_ms", tpot);
+    oss << ",";
+    detail::appendSummary(oss, "latency_ms", latency);
+    oss << ",";
+    detail::appendSummary(oss, "queue_wait_ms", queue_wait);
+    oss << ",\"mean_queue_depth\":" << detail::jsonNum(mean_queue_depth)
+        << ",\"max_queue_depth\":" << max_queue_depth
+        << ",\"mean_decode_batch\":" << detail::jsonNum(mean_decode_batch)
+        << ",\"batch_histogram\":[";
+    for (size_t i = 0; i < batch_histogram.size(); ++i)
+        oss << (i ? "," : "") << batch_histogram[i];
+    oss << "]}";
+    return oss.str();
+}
+
+} // namespace serving
+} // namespace tilus

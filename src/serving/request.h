@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Request descriptors and synthetic workload generators for the serving
+ * layer. A Trace is the unit of input to the Simulator: a list of
+ * requests (arrival time, prompt length, output length, optional SLO)
+ * plus the loop discipline. Open-loop traces fix arrival times up front
+ * (Poisson or bursty); closed-loop traces model a fixed client pool
+ * where each completion immediately triggers the next submission, so
+ * arrival times are assigned by the simulator at run time.
+ *
+ * All generators draw from support/rng.h with an explicit seed: the same
+ * (options, seed) pair produces bit-identical traces on every platform,
+ * which the determinism tests and the benchmark harness rely on.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tilus {
+namespace serving {
+
+/** One inference request in a serving trace. */
+struct Request
+{
+    int64_t id = 0;
+    double arrival_ms = 0;      ///< submission time (virtual clock)
+    int64_t prompt_tokens = 0;
+    int64_t output_tokens = 0;  ///< tokens to generate (>= 1)
+    double slo_ms = 0;          ///< end-to-end latency objective; 0 = none
+};
+
+/** A workload: requests in arrival order plus the loop discipline. */
+struct Trace
+{
+    std::vector<Request> requests;
+
+    /**
+     * When positive, the trace is closed-loop with this many concurrent
+     * clients: the first `closed_loop_clients` requests are submitted at
+     * time 0 and every completion submits the next one (its arrival_ms
+     * is rewritten to the completion time). Zero means open loop.
+     */
+    int64_t closed_loop_clients = 0;
+};
+
+/** Knobs shared by all synthetic trace generators. */
+struct TraceOptions
+{
+    int64_t num_requests = 64;
+    double rate_rps = 4.0;     ///< mean arrival rate (open-loop only)
+    int64_t prompt_min = 64;   ///< prompt length, uniform [min, max]
+    int64_t prompt_max = 512;
+    int64_t output_min = 16;   ///< output length, uniform [min, max]
+    int64_t output_max = 64;
+    double slo_ms = 0;         ///< attached to every request; 0 = none
+    uint64_t seed = 0x74696c7573ULL;
+};
+
+/** Open-loop trace with exponential (Poisson-process) inter-arrivals. */
+Trace poissonTrace(const TraceOptions &options);
+
+/**
+ * Open-loop trace where requests arrive in bursts of @p burst at the
+ * same instant, with exponential gaps between bursts sized so the
+ * long-run rate still matches options.rate_rps. Stresses admission
+ * control and queue growth.
+ */
+Trace burstyTrace(const TraceOptions &options, int64_t burst);
+
+/**
+ * Closed-loop trace driven by @p clients concurrent clients; see
+ * Trace::closed_loop_clients. options.rate_rps is ignored.
+ */
+Trace closedLoopTrace(const TraceOptions &options, int64_t clients);
+
+} // namespace serving
+} // namespace tilus

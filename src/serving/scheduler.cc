@@ -1,0 +1,98 @@
+#include "serving/scheduler.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace tilus {
+namespace serving {
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::kQueued: return "queued";
+      case Phase::kPrefill: return "prefill";
+      case Phase::kDecode: return "decode";
+      case Phase::kFinished: return "finished";
+      case Phase::kRejected: return "rejected";
+    }
+    return "?";
+}
+
+int64_t
+BatchPlan::prefillTokens() const
+{
+    int64_t total = 0;
+    for (const PrefillChunk &chunk : prefill)
+        total += chunk.tokens;
+    return total;
+}
+
+std::string
+FcfsScheduler::name() const
+{
+    return mode_ == Interleave::kAlternate ? "fcfs-alternate"
+                                           : "fcfs-prefill-first";
+}
+
+BatchPlan
+FcfsScheduler::plan(const SchedulerView &view,
+                    const SchedulerLimits &limits)
+{
+    TILUS_CHECK(view.states != nullptr && view.queued != nullptr &&
+                view.running != nullptr);
+    const std::vector<RequestState> &states = *view.states;
+    BatchPlan out;
+
+    // Strict FCFS admission: stop at the first queued request that does
+    // not fit — later (smaller) requests may not bypass it.
+    int64_t running = static_cast<int64_t>(view.running->size());
+    int64_t reserved = view.kv_reserved_tokens;
+    for (int64_t id : *view.queued) {
+        const RequestState &state = states[id];
+        if (running >= limits.max_batch)
+            break;
+        if (reserved + state.kvDemandTokens() > limits.kv_capacity_tokens)
+            break;
+        out.admit.push_back(id);
+        ++running;
+        reserved += state.kvDemandTokens();
+    }
+
+    // Partition this iteration's population into pending work sets.
+    std::vector<int64_t> prefillable;
+    std::vector<int64_t> decodable;
+    auto classify = [&](int64_t id) {
+        const RequestState &state = states[id];
+        if (state.prefilled_tokens < state.request.prompt_tokens)
+            prefillable.push_back(id);
+        else
+            decodable.push_back(id);
+    };
+    for (int64_t id : *view.running)
+        classify(id);
+    for (int64_t id : out.admit)
+        prefillable.push_back(id); // freshly admitted: nothing prefilled
+
+    const bool prefer_prefill =
+        mode_ == Interleave::kPrefillFirst || !last_step_was_prefill_;
+    if (!prefillable.empty() && (decodable.empty() || prefer_prefill)) {
+        // One request's chunk per step: the engine cost model prices a
+        // prefill by (new tokens, past context) of a single request.
+        const int64_t id = prefillable.front();
+        const RequestState &state = states[id];
+        const int64_t remaining =
+            state.request.prompt_tokens - state.prefilled_tokens;
+        out.prefill.push_back(
+            {id, std::min(limits.prefill_chunk_tokens, remaining)});
+        last_step_was_prefill_ = true;
+    } else if (!decodable.empty()) {
+        out.decode = std::move(decodable);
+        last_step_was_prefill_ = false;
+    }
+    return out;
+}
+
+} // namespace serving
+} // namespace tilus

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Pluggable scheduling policies for the continuous-batching event loop.
+ * Each simulator iteration the policy sees the queue state and returns a
+ * BatchPlan: which queued requests to admit, and whether the engine
+ * should run one prefill step (a bounded chunk of prompt tokens) or one
+ * decode step (one token for every decode-phase request) — the engine's
+ * cost model, like the paper's, prices the two separately and never
+ * mixes them in a single iteration.
+ *
+ * Resource limits (max concurrent requests, total KV-cache tokens) come
+ * from the engine's construction-time reservation; policies must plan
+ * within them and the simulator verifies every plan, so a buggy policy
+ * fails loudly instead of silently over-subscribing device memory.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace tilus {
+namespace serving {
+
+/** Lifecycle phase of a request inside the simulator. */
+enum class Phase
+{
+    kQueued,   ///< arrived, not yet admitted
+    kPrefill,  ///< admitted, prompt not fully processed
+    kDecode,   ///< prompt done, generating tokens
+    kFinished, ///< all output tokens produced
+    kRejected, ///< can never fit the engine (demand > capacity)
+};
+
+const char *phaseName(Phase phase);
+
+/** Per-request bookkeeping, owned by the simulator, read by policies. */
+struct RequestState
+{
+    Request request;
+    Phase phase = Phase::kQueued;
+    int64_t prefilled_tokens = 0;  ///< prompt tokens already processed
+    int64_t generated_tokens = 0;  ///< output tokens produced so far
+    double admitted_ms = -1;
+    double first_token_ms = -1;
+    double finish_ms = -1;
+
+    /** KV-cache tokens this request occupies once fully served. The
+        scheduler reserves the full demand at admission, which is what
+        guarantees a running request can never hit OOM mid-flight. */
+    int64_t
+    kvDemandTokens() const
+    {
+        return request.prompt_tokens + request.output_tokens;
+    }
+};
+
+/** Resource limits every policy must respect. */
+struct SchedulerLimits
+{
+    int64_t max_batch = 16;              ///< concurrent admitted requests
+    int64_t kv_capacity_tokens = 16384;  ///< total KV reservation
+    int64_t prefill_chunk_tokens = 256;  ///< prompt tokens per prefill step
+
+    /** Per-request context window (prompt + output); requests beyond it
+        are rejected at submission. 0 = bounded only by capacity. */
+    int64_t max_request_tokens = 0;
+};
+
+/** Read-only queue snapshot handed to the policy each iteration. Ids are
+    indices into `states`. The containers are owned by the simulator and
+    borrowed per call — the event loop runs millions of iterations, so
+    the view must stay allocation-free. */
+struct SchedulerView
+{
+    double now_ms = 0;
+    const std::vector<RequestState> *states = nullptr;
+    const std::deque<int64_t> *queued = nullptr;  ///< arrival (FCFS) order
+    const std::vector<int64_t> *running = nullptr; ///< admission order
+    int64_t kv_reserved_tokens = 0; ///< sum of running demands
+};
+
+/** One prompt chunk scheduled for one request this iteration. */
+struct PrefillChunk
+{
+    int64_t id = 0;
+    int64_t tokens = 0;
+};
+
+/** One engine iteration planned by a policy. At most one of `prefill` /
+    `decode` may be non-empty; an entirely empty plan tells the event
+    loop to idle until the next arrival. A prefill step carries at most
+    ONE chunk — the engine cost model prices a single request's
+    (new tokens, past context) pair per step. */
+struct BatchPlan
+{
+    std::vector<int64_t> admit;        ///< queued -> running, before the step
+    std::vector<PrefillChunk> prefill; ///< at most 1 => prefill step
+    std::vector<int64_t> decode;       ///< non-empty => decode step
+
+    int64_t prefillTokens() const;
+
+    bool
+    empty() const
+    {
+        return prefill.empty() && decode.empty();
+    }
+};
+
+/** Scheduling-policy interface. Implementations may keep state across
+    iterations (reset() is called once per simulation run). */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Plan the next engine iteration. Must respect @p limits. */
+    virtual BatchPlan plan(const SchedulerView &view,
+                           const SchedulerLimits &limits) = 0;
+
+    /** Called at the start of every Simulator::run. */
+    virtual void reset() {}
+};
+
+/**
+ * First-come-first-served admission with chunked prefill. Admission is
+ * strict FCFS: queued requests are admitted in arrival order until one
+ * does not fit (no bypass), which keeps per-request wait times
+ * predictable and makes back-pressure trivially fair. Prefill runs in
+ * chunks of at most `prefill_chunk_tokens`, and the two step kinds
+ * interleave according to the mode:
+ *
+ *  - kAlternate (default): when both prefill and decode work is
+ *    pending, alternate step kinds so ongoing generations keep making
+ *    progress (bounded TPOT) while new prompts still get through
+ *    (bounded TTFT) — the chunked-prefill idea of Sarathi/vLLM.
+ *  - kPrefillFirst: drain all pending prefill before any decode step,
+ *    maximizing prompt throughput at the cost of decode stalls.
+ */
+class FcfsScheduler : public Scheduler
+{
+  public:
+    enum class Interleave
+    {
+        kAlternate,
+        kPrefillFirst,
+    };
+
+    explicit FcfsScheduler(Interleave mode = Interleave::kAlternate)
+        : mode_(mode)
+    {}
+
+    std::string name() const override;
+
+    BatchPlan plan(const SchedulerView &view,
+                   const SchedulerLimits &limits) override;
+
+    void reset() override { last_step_was_prefill_ = false; }
+
+  private:
+    Interleave mode_;
+    bool last_step_was_prefill_ = false;
+};
+
+} // namespace serving
+} // namespace tilus

@@ -1,0 +1,340 @@
+#include "serving/simulator.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace tilus {
+namespace serving {
+
+SchedulerLimits
+limitsFrom(const llm::StepCostModel &costs)
+{
+    SchedulerLimits limits;
+    limits.max_batch = costs.maxBatch();
+    limits.kv_capacity_tokens = costs.kvCapacityTokens();
+    limits.max_request_tokens = costs.contextTokens();
+    return limits;
+}
+
+Simulator::Simulator(llm::StepCostModel &costs, Scheduler &scheduler,
+                     SimOptions options)
+    : costs_(costs), scheduler_(scheduler), options_(options)
+{
+    TILUS_FATAL_IF(options_.limits.max_batch < 1,
+                   "simulator needs max_batch >= 1");
+    TILUS_FATAL_IF(options_.limits.kv_capacity_tokens < 1,
+                   "simulator needs a positive KV capacity");
+    TILUS_FATAL_IF(options_.limits.prefill_chunk_tokens < 1,
+                   "simulator needs a positive prefill chunk");
+}
+
+double
+Simulator::decodeCostMs(int64_t batch)
+{
+    int64_t lookup = batch;
+    if (options_.decode_cost_pow2) {
+        lookup = 1;
+        while (lookup < batch)
+            lookup *= 2;
+        lookup = std::min(lookup, options_.limits.max_batch);
+        lookup = std::max(lookup, batch);
+    }
+    return costs_.decodeMs(lookup);
+}
+
+double
+Simulator::prefillCostMs(int64_t tokens, int64_t past_tokens)
+{
+    int64_t lookup = tokens;
+    int64_t past = past_tokens;
+    if (options_.prefill_cost_bucket > 0) {
+        lookup = roundUp(tokens, options_.prefill_cost_bucket);
+        past = roundUp(past_tokens, options_.prefill_cost_bucket);
+    }
+    return costs_.prefillMs(lookup, past);
+}
+
+ServingReport
+Simulator::run(const Trace &trace)
+{
+    const SchedulerLimits &limits = options_.limits;
+    scheduler_.reset();
+
+    // Request states indexed by position; scheduler ids are indices.
+    std::vector<RequestState> states;
+    states.reserve(trace.requests.size());
+    for (const Request &request : trace.requests) {
+        TILUS_FATAL_IF(request.prompt_tokens < 1 ||
+                           request.output_tokens < 1,
+                       "request " << request.id
+                                  << " needs positive prompt/output");
+        RequestState state;
+        state.request = request;
+        states.push_back(state);
+    }
+    const int64_t total = static_cast<int64_t>(states.size());
+
+    const bool closed_loop = trace.closed_loop_clients > 0;
+    // Open loop: submission order by (arrival, position).
+    std::vector<int64_t> arrival_order(states.size());
+    for (size_t i = 0; i < states.size(); ++i)
+        arrival_order[i] = static_cast<int64_t>(i);
+    if (!closed_loop) {
+        std::stable_sort(arrival_order.begin(), arrival_order.end(),
+                         [&](int64_t a, int64_t b) {
+                             return states[a].request.arrival_ms <
+                                    states[b].request.arrival_ms;
+                         });
+    }
+
+    ServingReport report;
+    report.scheduler = scheduler_.name();
+    report.total_requests = total;
+    report.batch_histogram.assign(limits.max_batch + 1, 0);
+
+    std::deque<int64_t> queued;
+    std::vector<int64_t> running;
+    int64_t kv_reserved = 0;
+    int64_t finished = 0;
+    double now = 0;
+
+    // Submit a request: immediately reject the unservable, queue the
+    // rest. Returns whether the request was queued.
+    const int64_t request_cap =
+        limits.max_request_tokens > 0
+            ? std::min(limits.max_request_tokens,
+                       limits.kv_capacity_tokens)
+            : limits.kv_capacity_tokens;
+    auto submit = [&](int64_t id, double at_ms) {
+        RequestState &state = states[id];
+        state.request.arrival_ms = at_ms;
+        if (state.kvDemandTokens() > request_cap) {
+            state.phase = Phase::kRejected;
+            state.finish_ms = at_ms;
+            ++report.rejected;
+            ++finished;
+            return false;
+        }
+        queued.push_back(id);
+        return true;
+    };
+
+    size_t next_arrival = 0;    // index into arrival_order (open loop)
+    int64_t next_injection = 0; // index into states (closed loop)
+    // A closed-loop client submits its next request; a rejection frees
+    // the client immediately, so it pulls again until one is queued.
+    auto injectNext = [&](double at_ms) {
+        while (next_injection < total && !submit(next_injection++, at_ms)) {
+        }
+    };
+    if (closed_loop) {
+        for (int64_t c = 0;
+             c < std::min(trace.closed_loop_clients, total); ++c)
+            injectNext(0.0);
+    }
+
+    double queue_depth_integral = 0;
+    double decode_batch_sum = 0;
+    double busy_end_ms = 0; ///< clock after the last engine step
+    int64_t safety = 0;
+
+    while (finished < total) {
+        TILUS_CHECK_MSG(++safety < (1 << 26),
+                        "serving event loop failed to converge");
+
+        if (!closed_loop) {
+            while (next_arrival < arrival_order.size() &&
+                   states[arrival_order[next_arrival]].request.arrival_ms <=
+                       now) {
+                submit(arrival_order[next_arrival],
+                       states[arrival_order[next_arrival]]
+                           .request.arrival_ms);
+                ++next_arrival;
+            }
+        }
+        report.max_queue_depth =
+            std::max(report.max_queue_depth,
+                     static_cast<int64_t>(queued.size()));
+
+        SchedulerView view;
+        view.now_ms = now;
+        view.states = &states;
+        view.queued = &queued;
+        view.running = &running;
+        view.kv_reserved_tokens = kv_reserved;
+        BatchPlan plan = scheduler_.plan(view, limits);
+        TILUS_FATAL_IF(!plan.prefill.empty() && !plan.decode.empty(),
+                       scheduler_.name()
+                           << " planned prefill and decode in one step");
+
+        // Apply admissions, verifying the policy honoured the limits.
+        for (int64_t id : plan.admit) {
+            TILUS_FATAL_IF(queued.empty() || queued.front() != id,
+                           scheduler_.name()
+                               << " admitted out of queue order (id " << id
+                               << ")");
+            queued.pop_front();
+            RequestState &state = states[id];
+            TILUS_CHECK(state.phase == Phase::kQueued);
+            state.phase = Phase::kPrefill;
+            state.admitted_ms = now;
+            running.push_back(id);
+            kv_reserved += state.kvDemandTokens();
+        }
+        TILUS_FATAL_IF(
+            static_cast<int64_t>(running.size()) > limits.max_batch,
+            scheduler_.name() << " exceeded max_batch: " << running.size());
+        TILUS_FATAL_IF(kv_reserved > limits.kv_capacity_tokens,
+                       scheduler_.name()
+                           << " over-subscribed the KV cache: "
+                           << kv_reserved << " > "
+                           << limits.kv_capacity_tokens);
+
+        if (plan.empty()) {
+            // Nothing runnable: jump to the next arrival, or fail loudly
+            // on a policy deadlock (work exists but none was planned).
+            if (!closed_loop && next_arrival < arrival_order.size()) {
+                now = std::max(
+                    now, states[arrival_order[next_arrival]]
+                             .request.arrival_ms);
+                continue;
+            }
+            TILUS_FATAL_IF(!queued.empty() || !running.empty(),
+                           scheduler_.name()
+                               << " deadlocked with " << queued.size()
+                               << " queued / " << running.size()
+                               << " running requests");
+            break; // only rejected stragglers remained
+        }
+
+        std::vector<int64_t> done; // finished by this step
+        double step_ms = 0;
+        if (!plan.prefill.empty()) {
+            // One request per prefill step: the engine prices a chunk
+            // by (new tokens, past context) of a single request.
+            TILUS_FATAL_IF(plan.prefill.size() > 1,
+                           scheduler_.name()
+                               << " planned " << plan.prefill.size()
+                               << " prefill requests in one step");
+            const PrefillChunk &chunk = plan.prefill.front();
+            RequestState &state = states[chunk.id];
+            TILUS_CHECK(state.phase == Phase::kPrefill);
+            TILUS_FATAL_IF(
+                chunk.tokens < 1 ||
+                    chunk.tokens > limits.prefill_chunk_tokens ||
+                    state.prefilled_tokens + chunk.tokens >
+                        state.request.prompt_tokens,
+                scheduler_.name() << " planned an invalid chunk of "
+                                  << chunk.tokens << " tokens");
+            step_ms = prefillCostMs(chunk.tokens, state.prefilled_tokens);
+            ++report.prefill_steps;
+            state.prefilled_tokens += chunk.tokens;
+            if (state.prefilled_tokens == state.request.prompt_tokens) {
+                // The step that finishes the prompt emits the first
+                // output token (the logits are already computed).
+                state.phase = Phase::kDecode;
+                state.first_token_ms = now + step_ms;
+                state.generated_tokens = 1;
+                if (state.generated_tokens == state.request.output_tokens)
+                    done.push_back(chunk.id);
+            }
+        } else {
+            const int64_t batch =
+                static_cast<int64_t>(plan.decode.size());
+            TILUS_FATAL_IF(batch > limits.max_batch,
+                           scheduler_.name()
+                               << " planned a decode batch of " << batch
+                               << " > max_batch " << limits.max_batch);
+            std::vector<int64_t> unique = plan.decode;
+            std::sort(unique.begin(), unique.end());
+            TILUS_FATAL_IF(std::adjacent_find(unique.begin(),
+                                              unique.end()) != unique.end(),
+                           scheduler_.name()
+                               << " planned duplicate decode ids");
+            step_ms = decodeCostMs(batch);
+            ++report.decode_steps;
+            report.batch_histogram[batch] += 1;
+            decode_batch_sum += static_cast<double>(batch);
+            for (int64_t id : plan.decode) {
+                RequestState &state = states[id];
+                TILUS_CHECK(state.phase == Phase::kDecode);
+                state.generated_tokens += 1;
+                if (state.generated_tokens == state.request.output_tokens)
+                    done.push_back(id);
+            }
+        }
+
+        queue_depth_integral +=
+            static_cast<double>(queued.size()) * step_ms;
+        now += step_ms;
+        busy_end_ms = now;
+        if (options_.max_sim_ms > 0 && now > options_.max_sim_ms) {
+            std::ostringstream oss;
+            oss << "virtual clock passed max_sim_ms="
+                << options_.max_sim_ms;
+            throw SimError(oss.str());
+        }
+
+        for (int64_t id : done) {
+            RequestState &state = states[id];
+            state.phase = Phase::kFinished;
+            state.finish_ms = now;
+            kv_reserved -= state.kvDemandTokens();
+            running.erase(
+                std::find(running.begin(), running.end(), id));
+            ++finished;
+            ++report.completed;
+            if (closed_loop)
+                injectNext(now);
+        }
+    }
+
+    // ------------------------------------------------------- aggregation
+    std::vector<double> ttft, tpot, latency, queue_wait;
+    int64_t met_slo = 0;
+    for (const RequestState &state : states) {
+        if (state.phase != Phase::kFinished)
+            continue;
+        const Request &request = state.request;
+        report.prompt_tokens += request.prompt_tokens;
+        report.output_tokens += state.generated_tokens;
+        ttft.push_back(state.first_token_ms - request.arrival_ms);
+        latency.push_back(state.finish_ms - request.arrival_ms);
+        queue_wait.push_back(state.admitted_ms - request.arrival_ms);
+        if (request.output_tokens > 1)
+            tpot.push_back(
+                (state.finish_ms - state.first_token_ms) /
+                static_cast<double>(request.output_tokens - 1));
+        if (request.slo_ms <= 0 ||
+            state.finish_ms - request.arrival_ms <= request.slo_ms)
+            ++met_slo;
+    }
+    report.ttft = summarize(ttft);
+    report.tpot = summarize(tpot);
+    report.latency = summarize(latency);
+    report.queue_wait = summarize(queue_wait);
+    // Makespan ends at the last engine step, not at a trailing idle
+    // jump (e.g. to a late-arriving rejected request).
+    report.makespan_ms = busy_end_ms;
+    if (busy_end_ms > 0) {
+        report.throughput_tok_s = static_cast<double>(
+                                      report.output_tokens) /
+                                  busy_end_ms * 1000.0;
+        report.request_per_s =
+            static_cast<double>(report.completed) / busy_end_ms * 1000.0;
+        report.goodput_req_s =
+            static_cast<double>(met_slo) / busy_end_ms * 1000.0;
+        report.mean_queue_depth = queue_depth_integral / busy_end_ms;
+    }
+    if (report.decode_steps > 0)
+        report.mean_decode_batch =
+            decode_batch_sum / static_cast<double>(report.decode_steps);
+    report.requests = std::move(states);
+    return report;
+}
+
+} // namespace serving
+} // namespace tilus

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The event-driven continuous-batching simulator: a virtual-clock loop
+ * that drives a llm::StepCostModel with a Trace of requests under a
+ * pluggable Scheduler, tracking every request's lifecycle
+ * (queued -> prefill -> decode -> finished) and aggregating the serving
+ * metrics of metrics.h. Time advances only by engine-step costs
+ * (decodeMs / prefillMs) and by idle jumps to the next arrival, so runs
+ * are exactly reproducible from the trace alone.
+ *
+ * Cost lookups are bucketed (next power of two for decode batch sizes,
+ * next multiple of `prefill_cost_bucket` for prefill chunks) the same
+ * way real engines bucket CUDA-graph captures: the reported latency is a
+ * slight over-estimate, and the number of distinct kernel tunings a run
+ * triggers stays bounded no matter how long the trace is.
+ */
+#pragma once
+
+#include "llm/engine.h"
+#include "serving/metrics.h"
+#include "serving/request.h"
+#include "serving/scheduler.h"
+
+namespace tilus {
+namespace serving {
+
+/** Event-loop configuration. */
+struct SimOptions
+{
+    SchedulerLimits limits;
+
+    /** Prefill cost lookups round the chunk token count and the past
+        context up to a multiple of this (0 = exact). Bounds distinct
+        kernel tunings. */
+    int64_t prefill_cost_bucket = 64;
+
+    /** Decode cost lookups round the batch up to the next power of two
+        (capped at limits.max_batch). */
+    bool decode_cost_pow2 = true;
+
+    /** Abort (SimError) when the virtual clock passes this; 0 = none. */
+    double max_sim_ms = 0;
+};
+
+/** Derive scheduler limits from an engine's construction-time
+    reservation; chunk size stays at the SchedulerLimits default. */
+SchedulerLimits limitsFrom(const llm::StepCostModel &costs);
+
+/** The continuous-batching event loop. One instance may run many traces;
+    engine-side step-cost caches persist across runs. */
+class Simulator
+{
+  public:
+    Simulator(llm::StepCostModel &costs, Scheduler &scheduler,
+              SimOptions options);
+
+    /** Run @p trace to completion and aggregate the report. */
+    ServingReport run(const Trace &trace);
+
+  private:
+    double decodeCostMs(int64_t batch);
+    double prefillCostMs(int64_t tokens, int64_t past_tokens);
+
+    llm::StepCostModel &costs_;
+    Scheduler &scheduler_;
+    SimOptions options_;
+};
+
+} // namespace serving
+} // namespace tilus

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Order-statistics helpers for the serving metrics: mean and linearly
+ * interpolated percentiles (the "linear" / type-7 definition used by
+ * numpy and most monitoring stacks), so p50/p95/p99 tail latencies are
+ * comparable with what a production dashboard would report.
+ */
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace tilus {
+
+/** Arithmetic mean (0 for an empty sample). */
+inline double
+meanOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/**
+ * The @p pct-th percentile (0..100) of @p values by linear interpolation
+ * between closest ranks. Sorts a copy; returns 0 for an empty sample.
+ */
+inline double
+percentile(std::vector<double> values, double pct)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    if (pct <= 0)
+        return values.front();
+    if (pct >= 100)
+        return values.back();
+    const double rank =
+        pct / 100.0 * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= values.size())
+        return values.back();
+    return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+} // namespace tilus

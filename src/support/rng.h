@@ -6,6 +6,7 @@
  */
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace tilus {
@@ -68,6 +69,18 @@ class Rng
     nextDouble(double lo, double hi)
     {
         return lo + nextDouble() * (hi - lo);
+    }
+
+    /**
+     * Exponentially distributed value with the given mean (inverse-CDF
+     * sampling). Drives the Poisson inter-arrival times of the serving
+     * workload generators.
+     */
+    double
+    nextExponential(double mean)
+    {
+        // log1p(-u) is finite for every u in [0, 1).
+        return -mean * std::log1p(-nextDouble());
     }
 
   private:

@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Serving-subsystem tests: percentile math on known distributions,
+ * deterministic trace generation and replay, strict FCFS admission
+ * order, max_batch and KV-capacity enforcement (back-pressure queues
+ * instead of OOM), chunked-prefill accounting, closed-loop traces, and
+ * exact lifecycle timestamps against a hand-computed schedule. A
+ * synthetic StepCostModel with linear costs keeps every test instant
+ * and makes expected timings computable by hand.
+ */
+#include <gtest/gtest.h>
+
+#include "serving/simulator.h"
+#include "support/percentile.h"
+
+namespace tilus {
+namespace {
+
+using serving::BatchPlan;
+using serving::FcfsScheduler;
+using serving::Phase;
+using serving::RequestState;
+using serving::ServingReport;
+using serving::SimOptions;
+using serving::Simulator;
+using serving::Trace;
+using serving::TraceOptions;
+
+/** Linear synthetic costs: decode 1 + 0.1*batch ms, prefill 0.01/token. */
+class FakeCost : public llm::StepCostModel
+{
+  public:
+    FakeCost(int64_t kv_capacity, int64_t max_batch,
+             int64_t context_tokens = 0)
+        : kv_capacity_(kv_capacity), max_batch_(max_batch),
+          context_tokens_(context_tokens > 0 ? context_tokens
+                                             : kv_capacity)
+    {}
+
+    double decodeMs(int64_t batch) override { return 1.0 + 0.1 * batch; }
+    double
+    prefillMs(int64_t tokens, int64_t /*past_tokens*/) override
+    {
+        return 0.01 * tokens; // past-insensitive: keeps hand math simple
+    }
+    int64_t kvCapacityTokens() const override { return kv_capacity_; }
+    int64_t maxBatch() const override { return max_batch_; }
+    int64_t contextTokens() const override { return context_tokens_; }
+
+  private:
+    int64_t kv_capacity_;
+    int64_t max_batch_;
+    int64_t context_tokens_;
+};
+
+SimOptions
+exactOptions(const llm::StepCostModel &costs)
+{
+    SimOptions options;
+    options.limits = serving::limitsFrom(costs);
+    options.prefill_cost_bucket = 0; // exact costs for hand-checked math
+    options.decode_cost_pow2 = false;
+    return options;
+}
+
+TEST(Percentile, MatchesKnownDistributions)
+{
+    std::vector<double> one_to_hundred;
+    for (int i = 1; i <= 100; ++i)
+        one_to_hundred.push_back(i);
+    EXPECT_DOUBLE_EQ(percentile(one_to_hundred, 50), 50.5);
+    EXPECT_DOUBLE_EQ(percentile(one_to_hundred, 95), 95.05);
+    EXPECT_DOUBLE_EQ(percentile(one_to_hundred, 99), 99.01);
+    EXPECT_DOUBLE_EQ(percentile(one_to_hundred, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(one_to_hundred, 100), 100.0);
+    EXPECT_DOUBLE_EQ(meanOf(one_to_hundred), 50.5);
+
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 99), 42.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+
+    // Interpolation between two points: p25 of {10, 20} = 12.5.
+    EXPECT_DOUBLE_EQ(percentile({20.0, 10.0}, 25), 12.5);
+}
+
+TEST(TraceGen, SameSeedSameTrace)
+{
+    TraceOptions options;
+    options.num_requests = 200;
+    options.seed = 7;
+    Trace a = serving::poissonTrace(options);
+    Trace b = serving::poissonTrace(options);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].arrival_ms, b.requests[i].arrival_ms);
+        EXPECT_EQ(a.requests[i].prompt_tokens, b.requests[i].prompt_tokens);
+        EXPECT_EQ(a.requests[i].output_tokens, b.requests[i].output_tokens);
+    }
+
+    options.seed = 8;
+    Trace c = serving::poissonTrace(options);
+    bool differs = false;
+    for (size_t i = 0; i < a.requests.size(); ++i)
+        differs = differs ||
+                  a.requests[i].arrival_ms != c.requests[i].arrival_ms;
+    EXPECT_TRUE(differs);
+}
+
+TEST(TraceGen, ArrivalsSortedAndRatesMatch)
+{
+    TraceOptions options;
+    options.num_requests = 2000;
+    options.rate_rps = 10.0;
+    Trace trace = serving::poissonTrace(options);
+    for (size_t i = 1; i < trace.requests.size(); ++i)
+        EXPECT_GE(trace.requests[i].arrival_ms,
+                  trace.requests[i - 1].arrival_ms);
+    // Long-run rate within 10% of nominal.
+    double span_s = trace.requests.back().arrival_ms / 1000.0;
+    double rate = double(options.num_requests) / span_s;
+    EXPECT_NEAR(rate, options.rate_rps, options.rate_rps * 0.1);
+
+    // Bursty: same long-run rate, arrivals grouped in bursts.
+    Trace bursty = serving::burstyTrace(options, 8);
+    span_s = bursty.requests.back().arrival_ms / 1000.0;
+    rate = double(options.num_requests) / span_s;
+    EXPECT_NEAR(rate, options.rate_rps, options.rate_rps * 0.15);
+    EXPECT_EQ(bursty.requests[0].arrival_ms, bursty.requests[7].arrival_ms);
+    EXPECT_NE(bursty.requests[7].arrival_ms, bursty.requests[8].arrival_ms);
+}
+
+TEST(Simulator, DeterministicReplay)
+{
+    FakeCost costs(4096, 8);
+    TraceOptions options;
+    options.num_requests = 120;
+    options.rate_rps = 50.0;
+    options.seed = 13;
+    Trace trace = serving::poissonTrace(options);
+
+    FcfsScheduler sched_a, sched_b;
+    Simulator sim_a(costs, sched_a, exactOptions(costs));
+    Simulator sim_b(costs, sched_b, exactOptions(costs));
+    ServingReport a = sim_a.run(trace);
+    ServingReport b = sim_b.run(trace);
+    EXPECT_EQ(a.toJson(), b.toJson());
+    EXPECT_EQ(a.completed, options.num_requests);
+    EXPECT_DOUBLE_EQ(a.makespan_ms, b.makespan_ms);
+    EXPECT_DOUBLE_EQ(a.latency.p99, b.latency.p99);
+}
+
+TEST(Simulator, FcfsAdmissionFollowsArrivalOrder)
+{
+    FakeCost costs(100000, 2); // tight batch => real queueing
+    TraceOptions options;
+    options.num_requests = 40;
+    options.rate_rps = 200.0;
+    options.seed = 3;
+    Trace trace = serving::poissonTrace(options);
+
+    FcfsScheduler scheduler;
+    Simulator simulator(costs, scheduler, exactOptions(costs));
+    ServingReport report = simulator.run(trace);
+    ASSERT_EQ(report.completed, options.num_requests);
+
+    // Sorted by arrival, admission times must be non-decreasing.
+    std::vector<const RequestState *> by_arrival;
+    for (const RequestState &state : report.requests)
+        by_arrival.push_back(&state);
+    std::stable_sort(by_arrival.begin(), by_arrival.end(),
+                     [](const RequestState *a, const RequestState *b) {
+                         return a->request.arrival_ms <
+                                b->request.arrival_ms;
+                     });
+    for (size_t i = 1; i < by_arrival.size(); ++i)
+        EXPECT_GE(by_arrival[i]->admitted_ms,
+                  by_arrival[i - 1]->admitted_ms);
+    EXPECT_GT(report.max_queue_depth, 0);
+}
+
+TEST(Simulator, BatchNeverExceedsMaxBatch)
+{
+    FakeCost costs(1 << 20, 4);
+    TraceOptions options;
+    options.num_requests = 64;
+    options.rate_rps = 500.0; // everyone arrives nearly at once
+    Trace trace = serving::burstyTrace(options, 16);
+
+    FcfsScheduler scheduler;
+    Simulator simulator(costs, scheduler, exactOptions(costs));
+    ServingReport report = simulator.run(trace);
+    EXPECT_EQ(report.completed, options.num_requests);
+    ASSERT_EQ(static_cast<int64_t>(report.batch_histogram.size()), 5);
+    EXPECT_GT(report.batch_histogram[4], 0); // saturates the limit
+    int64_t steps = 0;
+    for (int64_t count : report.batch_histogram)
+        steps += count;
+    EXPECT_EQ(steps, report.decode_steps);
+}
+
+TEST(Simulator, KvBackPressureQueuesInsteadOfOom)
+{
+    // Capacity 300 tokens; every request demands 100+20=120, so at most
+    // two run concurrently even though max_batch allows eight.
+    FakeCost costs(300, 8);
+    TraceOptions options;
+    options.num_requests = 12;
+    options.rate_rps = 1000.0;
+    options.prompt_min = options.prompt_max = 100;
+    options.output_min = options.output_max = 20;
+    Trace trace = serving::poissonTrace(options);
+
+    FcfsScheduler scheduler;
+    Simulator simulator(costs, scheduler, exactOptions(costs));
+    ServingReport report;
+    ASSERT_NO_THROW(report = simulator.run(trace));
+    EXPECT_EQ(report.completed, 12);
+    EXPECT_EQ(report.rejected, 0);
+    for (size_t batch = 3; batch < report.batch_histogram.size(); ++batch)
+        EXPECT_EQ(report.batch_histogram[batch], 0) << batch;
+    EXPECT_GT(report.max_queue_depth, 0); // back-pressure was exercised
+}
+
+TEST(Simulator, OversizedRequestRejectedOthersServed)
+{
+    FakeCost costs(500, 8);
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 100, 10, 0});
+    trace.requests.push_back({1, 1.0, 600, 10, 0}); // can never fit
+    trace.requests.push_back({2, 2.0, 100, 10, 0});
+
+    FcfsScheduler scheduler;
+    Simulator simulator(costs, scheduler, exactOptions(costs));
+    ServingReport report = simulator.run(trace);
+    EXPECT_EQ(report.completed, 2);
+    EXPECT_EQ(report.rejected, 1);
+    EXPECT_EQ(report.requests[1].phase, Phase::kRejected);
+    EXPECT_EQ(report.requests[0].phase, Phase::kFinished);
+    EXPECT_EQ(report.requests[2].phase, Phase::kFinished);
+}
+
+TEST(Simulator, TrailingRejectedArrivalDoesNotInflateMakespan)
+{
+    // The last request arrives long after all work is done and is
+    // unservable: the idle jump to its arrival must not count toward
+    // makespan or dilute the throughput rates.
+    FakeCost costs(500, 8);
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 100, 10, 0});
+    trace.requests.push_back({1, 10000.0, 600, 10, 0}); // oversized
+    FcfsScheduler scheduler;
+    Simulator simulator(costs, scheduler, exactOptions(costs));
+    ServingReport report = simulator.run(trace);
+    EXPECT_EQ(report.completed, 1);
+    EXPECT_EQ(report.rejected, 1);
+    EXPECT_LT(report.makespan_ms, 100.0);
+    EXPECT_GT(report.throughput_tok_s, 100.0); // 10 tokens in ~11 ms
+}
+
+TEST(Simulator, ContextWindowRejectsOverlongRequests)
+{
+    // Pool capacity would admit the request, but it exceeds the
+    // per-request context window the decode cost model assumes.
+    FakeCost costs(1 << 20, 8, /*context_tokens=*/256);
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 100, 10, 0});  // 110 <= 256
+    trace.requests.push_back({1, 1.0, 300, 10, 0});  // 310 > 256
+    FcfsScheduler scheduler;
+    Simulator simulator(costs, scheduler, exactOptions(costs));
+    ServingReport report = simulator.run(trace);
+    EXPECT_EQ(report.completed, 1);
+    EXPECT_EQ(report.rejected, 1);
+    EXPECT_EQ(report.requests[1].phase, Phase::kRejected);
+}
+
+TEST(Simulator, HandComputedLifecycleTimestamps)
+{
+    // One request: prompt 200, output 5. Chunk 256 => a single prefill
+    // step of 200 tokens costing 2.0 ms which also emits token 1; then
+    // four decode steps at batch 1 costing 1.1 ms each.
+    FakeCost costs(4096, 8);
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 200, 5, 0});
+
+    FcfsScheduler scheduler;
+    Simulator simulator(costs, scheduler, exactOptions(costs));
+    ServingReport report = simulator.run(trace);
+    ASSERT_EQ(report.completed, 1);
+    const RequestState &state = report.requests[0];
+    EXPECT_DOUBLE_EQ(state.admitted_ms, 0.0);
+    EXPECT_DOUBLE_EQ(state.first_token_ms, 2.0);
+    EXPECT_DOUBLE_EQ(state.finish_ms, 2.0 + 4 * 1.1);
+    EXPECT_DOUBLE_EQ(report.ttft.mean, 2.0);
+    EXPECT_DOUBLE_EQ(report.tpot.mean, 1.1);
+    EXPECT_DOUBLE_EQ(report.latency.mean, 6.4);
+    EXPECT_EQ(report.prefill_steps, 1);
+    EXPECT_EQ(report.decode_steps, 4);
+    EXPECT_EQ(report.output_tokens, 5);
+}
+
+TEST(Simulator, ChunkedPrefillSplitsLongPrompts)
+{
+    FakeCost costs(4096, 8);
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 1000, 2, 0});
+
+    FcfsScheduler scheduler;
+    SimOptions options = exactOptions(costs);
+    options.limits.prefill_chunk_tokens = 100;
+    Simulator simulator(costs, scheduler, options);
+    ServingReport report = simulator.run(trace);
+    EXPECT_EQ(report.completed, 1);
+    EXPECT_EQ(report.prefill_steps, 10); // ceil(1000 / 100)
+    // TTFT = 10 chunks x 1.0 ms each.
+    EXPECT_DOUBLE_EQ(report.ttft.mean, 10.0);
+}
+
+TEST(Simulator, ChunkCostsTelescopeToOneShotPrefill)
+{
+    // A past-aware quadratic cost model: chunking a prompt must cost
+    // exactly what one-shot prefill costs (C*(2P+C) telescopes to T^2).
+    class QuadraticCost : public llm::StepCostModel
+    {
+      public:
+        double decodeMs(int64_t batch) override { return 1.0 + batch; }
+        double
+        prefillMs(int64_t tokens, int64_t past_tokens) override
+        {
+            return 1e-3 * double(tokens) *
+                   (2.0 * double(past_tokens) + double(tokens));
+        }
+        int64_t kvCapacityTokens() const override { return 1 << 20; }
+        int64_t maxBatch() const override { return 8; }
+        int64_t contextTokens() const override { return 1 << 20; }
+    };
+
+    QuadraticCost costs;
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 1000, 1, 0});
+
+    auto ttftWithChunk = [&](int64_t chunk) {
+        FcfsScheduler scheduler;
+        SimOptions options = exactOptions(costs);
+        options.limits.prefill_chunk_tokens = chunk;
+        Simulator simulator(costs, scheduler, options);
+        return simulator.run(trace).ttft.mean;
+    };
+    const double one_shot = ttftWithChunk(1000); // 1e-3 * 1000^2
+    EXPECT_DOUBLE_EQ(one_shot, 1000.0);
+    EXPECT_DOUBLE_EQ(ttftWithChunk(250), one_shot);
+    EXPECT_DOUBLE_EQ(ttftWithChunk(100), one_shot);
+}
+
+TEST(Simulator, AlternateModeInterleavesDecodeWithPrefill)
+{
+    // Request 0 decodes a short answer while request 1 prefills a long
+    // prompt in chunks: alternating mode keeps tokens flowing between
+    // chunks so request 0 finishes during the prefill, while
+    // prefill-first stalls it until the whole prompt is drained.
+    FakeCost costs(1 << 20, 8);
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 10, 10, 0});
+    trace.requests.push_back({1, 0.0, 2000, 2, 0});
+
+    SimOptions options = exactOptions(costs);
+    options.limits.prefill_chunk_tokens = 100;
+
+    FcfsScheduler alternate(FcfsScheduler::Interleave::kAlternate);
+    Simulator sim_alt(costs, alternate, options);
+    ServingReport alt = sim_alt.run(trace);
+
+    FcfsScheduler drain(FcfsScheduler::Interleave::kPrefillFirst);
+    Simulator sim_drain(costs, drain, options);
+    ServingReport pf = sim_drain.run(trace);
+
+    ASSERT_EQ(alt.completed, 2);
+    ASSERT_EQ(pf.completed, 2);
+    // Request 0's completion: interleaved mode beats prefill-first.
+    EXPECT_LT(alt.requests[0].finish_ms, pf.requests[0].finish_ms);
+    // Prefill-first finishes the long prompt earlier.
+    EXPECT_LE(pf.requests[1].first_token_ms,
+              alt.requests[1].first_token_ms);
+}
+
+TEST(Simulator, ClosedLoopBoundsConcurrency)
+{
+    FakeCost costs(1 << 20, 8);
+    TraceOptions options;
+    options.num_requests = 24;
+    Trace trace = serving::closedLoopTrace(options, 2);
+
+    FcfsScheduler scheduler;
+    Simulator simulator(costs, scheduler, exactOptions(costs));
+    ServingReport report = simulator.run(trace);
+    EXPECT_EQ(report.completed, 24);
+    // Two clients => never more than two requests in flight.
+    for (size_t batch = 3; batch < report.batch_histogram.size(); ++batch)
+        EXPECT_EQ(report.batch_histogram[batch], 0) << batch;
+    // Each injection is admitted at its submission instant: clients
+    // spend no virtual time queued.
+    EXPECT_DOUBLE_EQ(report.queue_wait.p99, 0.0);
+}
+
+TEST(Simulator, CostBucketingRoundsUpDeterministically)
+{
+    // With bucketing on, a 3-wide decode is billed as 4-wide and a
+    // 130-token chunk as 192 tokens; metrics stay deterministic.
+    class RecordingCost : public FakeCost
+    {
+      public:
+        RecordingCost() : FakeCost(1 << 20, 8) {}
+        double
+        decodeMs(int64_t batch) override
+        {
+            decode_batches.push_back(batch);
+            return FakeCost::decodeMs(batch);
+        }
+        double
+        prefillMs(int64_t tokens, int64_t past_tokens) override
+        {
+            prefill_tokens.push_back(tokens);
+            return FakeCost::prefillMs(tokens, past_tokens);
+        }
+        std::vector<int64_t> decode_batches;
+        std::vector<int64_t> prefill_tokens;
+    };
+
+    RecordingCost costs;
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 130, 3, 0});
+    trace.requests.push_back({1, 0.0, 130, 3, 0});
+    trace.requests.push_back({2, 0.0, 130, 3, 0});
+
+    FcfsScheduler scheduler;
+    SimOptions options;
+    options.limits = serving::limitsFrom(costs);
+    options.limits.prefill_chunk_tokens = 192;
+    Simulator simulator(costs, scheduler, options);
+    ServingReport report = simulator.run(trace);
+    EXPECT_EQ(report.completed, 3);
+    for (int64_t batch : costs.decode_batches)
+        EXPECT_TRUE(batch == 1 || batch == 2 || batch == 4) << batch;
+    for (int64_t tokens : costs.prefill_tokens)
+        EXPECT_EQ(tokens % 64, 0) << tokens;
+}
+
+TEST(Report, JsonContainsEveryHeadlineMetric)
+{
+    FakeCost costs(4096, 4);
+    TraceOptions options;
+    options.num_requests = 10;
+    options.slo_ms = 1e9;
+    Trace trace = serving::poissonTrace(options);
+    FcfsScheduler scheduler;
+    Simulator simulator(costs, scheduler, exactOptions(costs));
+    ServingReport report = simulator.run(trace);
+    report.system = "tilus";
+    report.model = "fake";
+    std::string json = report.toJson();
+    for (const char *key :
+         {"\"throughput_tok_s\":", "\"ttft_ms\":", "\"tpot_ms\":",
+          "\"latency_ms\":", "\"p50\":", "\"p95\":", "\"p99\":",
+          "\"goodput_req_s\":", "\"batch_histogram\":",
+          "\"scheduler\":\"fcfs-alternate\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    // Every request met the (absurdly lax) SLO.
+    EXPECT_DOUBLE_EQ(report.goodput_req_s, report.request_per_s);
+}
+
+} // namespace
+} // namespace tilus
