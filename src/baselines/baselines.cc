@@ -135,7 +135,8 @@ systemSpace(System system)
 
 EvalResult
 evaluateMatmul(System system, runtime::Runtime &rt, DataType wdtype,
-               int64_t n, int64_t k, int64_t m, int64_t group_size)
+               int64_t n, int64_t k, int64_t m, int64_t group_size,
+               compiler::OptLevel opt_level)
 {
     EvalResult result;
     if (system == System::kCublas)
@@ -152,6 +153,7 @@ evaluateMatmul(System system, runtime::Runtime &rt, DataType wdtype,
 
     compiler::CompileOptions opts;
     opts.sm_arch = 80;
+    opts.opt_level = opt_level;
     if (system == System::kLadder)
         opts.forbid_cp_async = true; // no software pipelining (Fig. 1(b))
 

@@ -70,10 +70,15 @@ sim::PerfTraits systemTraits(System system);
  * Simulated latency of matmul(m x k, k x n) with the given weight type
  * under `system` on rt's GPU. Quantized systems use grouped scales with
  * the given group size (0 disables). cuBLAS ignores wdtype and runs f16.
+ * @p opt_level pins the LIR pass-pipeline level of every compiled
+ * candidate (default O2); pinning O0 reproduces the pre-optimizer
+ * numbers for ablations.
  */
 EvalResult evaluateMatmul(System system, runtime::Runtime &rt,
                           DataType wdtype, int64_t n, int64_t k, int64_t m,
-                          int64_t group_size = 0);
+                          int64_t group_size = 0,
+                          compiler::OptLevel opt_level =
+                              compiler::OptLevel::O2);
 
 } // namespace baselines
 } // namespace tilus

@@ -6,6 +6,7 @@
 #include "compiler/memory_planner.h"
 #include "ir/verifier.h"
 #include "layout/atoms.h"
+#include "opt/pass_manager.h"
 #include "support/error.h"
 #include "support/math_util.h"
 
@@ -885,7 +886,9 @@ lir::Kernel
 compile(const ir::Program &program, const CompileOptions &options)
 {
     Lowering lowering(program, options);
-    return lowering.run();
+    lir::Kernel kernel = lowering.run();
+    opt::PassManager::standardPipeline(options.opt_level).run(kernel);
+    return kernel;
 }
 
 } // namespace compiler

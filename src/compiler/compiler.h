@@ -11,6 +11,12 @@
  * analysis); step 3 lowers low-precision types — the fast path loads
  * transformed weights as standard types and reinterprets registers at no
  * cost, the fallback extracts sub-byte elements with bitwise operations.
+ *
+ * After lowering, the LIR optimizing pass pipeline of src/opt/ runs at
+ * CompileOptions::opt_level (default O2: software pipelining of
+ * synchronous cp.async staging loops, redundant-synchronization
+ * elimination, loop-invariant address CSE, dead tensor/storage
+ * elimination). O0 output is the differential oracle's reference.
  */
 #pragma once
 

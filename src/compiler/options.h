@@ -12,11 +12,29 @@
 namespace tilus {
 namespace compiler {
 
+/**
+ * LIR optimization level (the pass pipeline of src/opt/):
+ *  - O0: lowering output as-is (the differential oracle's reference);
+ *  - O1: cleanup only — redundant-synchronization and dead-tensor
+ *        elimination;
+ *  - O2: O1 plus software pipelining of synchronous cp.async staging
+ *        loops and loop-invariant address CSE (the default).
+ */
+enum class OptLevel
+{
+    O0 = 0,
+    O1 = 1,
+    O2 = 2,
+};
+
 /** Flags controlling lowering/instruction selection. */
 struct CompileOptions
 {
     /** Minimum compute capability the kernel will require. */
     int sm_arch = 80;
+
+    /** LIR pass-pipeline level applied after lowering (default O2). */
+    OptLevel opt_level = OptLevel::O2;
 
     /** Coalesce contiguous element runs into ldg64/ldg128/lds128. */
     bool enable_vectorize = true;

@@ -1,6 +1,7 @@
 #include "ir/expr.h"
 
 #include <atomic>
+#include <cstring>
 #include <sstream>
 
 #include "support/error.h"
@@ -322,6 +323,172 @@ toString(const Expr &expr)
         break;
       }
     }
+    return oss.str();
+}
+
+Expr
+mapExpr(const Expr &expr, const std::function<Expr(const Expr &)> &fn)
+{
+    if (Expr mapped = fn(expr))
+        return mapped;
+    switch (expr->kind()) {
+      case ExprKind::kConst:
+      case ExprKind::kVar:
+        return expr;
+      case ExprKind::kUnary: {
+        const auto &node = static_cast<const UnaryNode &>(*expr);
+        Expr a = mapExpr(node.a, fn);
+        if (a.get() == node.a.get())
+            return expr;
+        return makeUnary(node.op, std::move(a));
+      }
+      case ExprKind::kBinary: {
+        const auto &node = static_cast<const BinaryNode &>(*expr);
+        Expr a = mapExpr(node.a, fn);
+        Expr b = mapExpr(node.b, fn);
+        if (a.get() == node.a.get() && b.get() == node.b.get())
+            return expr;
+        return makeBinary(node.op, std::move(a), std::move(b));
+      }
+      case ExprKind::kSelect: {
+        const auto &node = static_cast<const SelectNode &>(*expr);
+        Expr cond = mapExpr(node.cond, fn);
+        Expr t = mapExpr(node.on_true, fn);
+        Expr f = mapExpr(node.on_false, fn);
+        if (cond.get() == node.cond.get() && t.get() == node.on_true.get() &&
+            f.get() == node.on_false.get())
+            return expr;
+        return makeSelect(std::move(cond), std::move(t), std::move(f));
+      }
+    }
+    TILUS_PANIC("unreachable");
+}
+
+Expr
+substitute(const Expr &expr,
+           const std::vector<std::pair<int, Expr>> &replacements)
+{
+    return mapExpr(expr, [&](const Expr &e) -> Expr {
+        if (e->kind() != ExprKind::kVar)
+            return nullptr;
+        const auto &var = static_cast<const VarNode &>(*e);
+        for (const auto &[id, repl] : replacements)
+            if (id == var.id)
+                return repl;
+        return nullptr;
+    });
+}
+
+void
+collectVarIds(const Expr &expr, std::vector<int> &out)
+{
+    switch (expr->kind()) {
+      case ExprKind::kConst:
+        return;
+      case ExprKind::kVar:
+        out.push_back(static_cast<const VarNode &>(*expr).id);
+        return;
+      case ExprKind::kUnary:
+        collectVarIds(static_cast<const UnaryNode &>(*expr).a, out);
+        return;
+      case ExprKind::kBinary: {
+        const auto &node = static_cast<const BinaryNode &>(*expr);
+        collectVarIds(node.a, out);
+        collectVarIds(node.b, out);
+        return;
+      }
+      case ExprKind::kSelect: {
+        const auto &node = static_cast<const SelectNode &>(*expr);
+        collectVarIds(node.cond, out);
+        collectVarIds(node.on_true, out);
+        collectVarIds(node.on_false, out);
+        return;
+      }
+    }
+}
+
+int64_t
+exprNodeCount(const Expr &expr)
+{
+    switch (expr->kind()) {
+      case ExprKind::kConst:
+      case ExprKind::kVar:
+        return 1;
+      case ExprKind::kUnary:
+        return 1 + exprNodeCount(static_cast<const UnaryNode &>(*expr).a);
+      case ExprKind::kBinary: {
+        const auto &node = static_cast<const BinaryNode &>(*expr);
+        return 1 + exprNodeCount(node.a) + exprNodeCount(node.b);
+      }
+      case ExprKind::kSelect: {
+        const auto &node = static_cast<const SelectNode &>(*expr);
+        return 1 + exprNodeCount(node.cond) +
+               exprNodeCount(node.on_true) + exprNodeCount(node.on_false);
+      }
+    }
+    TILUS_PANIC("unreachable");
+}
+
+namespace {
+
+void
+structuralKeyInto(const Expr &expr, std::ostringstream &oss)
+{
+    switch (expr->kind()) {
+      case ExprKind::kConst: {
+        const auto &node = static_cast<const ConstNode &>(*expr);
+        if (node.dtype().isFloat()) {
+            // Bit-exact: decimal rendering would collide values that
+            // agree in the first few significant digits (and NaNs).
+            uint64_t bits;
+            static_assert(sizeof(bits) == sizeof(node.fvalue), "");
+            std::memcpy(&bits, &node.fvalue, sizeof(bits));
+            oss << "f" << std::hex << bits << std::dec;
+        } else {
+            oss << "c" << node.ivalue;
+        }
+        return;
+      }
+      case ExprKind::kVar:
+        oss << "v" << static_cast<const VarNode &>(*expr).id;
+        return;
+      case ExprKind::kUnary: {
+        const auto &node = static_cast<const UnaryNode &>(*expr);
+        oss << "u" << static_cast<int>(node.op) << "(";
+        structuralKeyInto(node.a, oss);
+        oss << ")";
+        return;
+      }
+      case ExprKind::kBinary: {
+        const auto &node = static_cast<const BinaryNode &>(*expr);
+        oss << "b" << static_cast<int>(node.op) << "(";
+        structuralKeyInto(node.a, oss);
+        oss << ",";
+        structuralKeyInto(node.b, oss);
+        oss << ")";
+        return;
+      }
+      case ExprKind::kSelect: {
+        const auto &node = static_cast<const SelectNode &>(*expr);
+        oss << "s(";
+        structuralKeyInto(node.cond, oss);
+        oss << ",";
+        structuralKeyInto(node.on_true, oss);
+        oss << ",";
+        structuralKeyInto(node.on_false, oss);
+        oss << ")";
+        return;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+structuralKey(const Expr &expr)
+{
+    std::ostringstream oss;
+    structuralKeyInto(expr, oss);
     return oss.str();
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -229,6 +230,45 @@ std::string toString(const Expr &expr);
 int64_t provenDivisor(const Expr &expr,
                       const std::vector<std::pair<int, int64_t>>
                           &var_divisors = {});
+
+/// @name Structural utilities used by the LIR optimizer (src/opt/).
+/// @{
+
+/**
+ * Rebuild @p expr top-down. At every node @p fn may return a
+ * replacement (inserted verbatim, its subtree is not visited); when it
+ * returns null the children are mapped recursively and the node is
+ * rebuilt — through the constant-folding factories — only if a child
+ * changed, so unmodified subtrees keep their identity (pointer
+ * equality).
+ */
+Expr mapExpr(const Expr &expr,
+             const std::function<Expr(const Expr &)> &fn);
+
+/**
+ * Rebuild @p expr with every variable whose id appears in
+ * @p replacements replaced by the mapped expression. Replacements are
+ * inserted verbatim (they are not themselves re-substituted), so a
+ * variable may map to an expression containing itself (e.g. v -> v + 1).
+ * Constant folding of the factory helpers applies to rebuilt nodes.
+ */
+Expr substitute(const Expr &expr,
+                const std::vector<std::pair<int, Expr>> &replacements);
+
+/** Append the ids of all variables referenced by @p expr (may repeat). */
+void collectVarIds(const Expr &expr, std::vector<int> &out);
+
+/** Number of nodes in the expression tree (cost proxy for CSE). */
+int64_t exprNodeCount(const Expr &expr);
+
+/**
+ * Deterministic structural serialization: two expressions have equal
+ * keys iff they are structurally identical (same operators, the same
+ * variable identities by id, the same constant values). Unlike
+ * toString(), distinct variables sharing a display name do not collide.
+ */
+std::string structuralKey(const Expr &expr);
+/// @}
 
 } // namespace ir
 } // namespace tilus

@@ -8,6 +8,7 @@
  */
 #pragma once
 
+#include "compiler/compiler.h"
 #include "ir/program.h"
 #include "lang/script.h"
 
@@ -23,6 +24,13 @@ struct ElementwiseBundle
     ir::Var y_ptr;
     ir::Var z_ptr;
     int64_t tile;  ///< elements per block
+
+    /** Compile outside a Runtime cache; options pin the opt level. */
+    lir::Kernel
+    compile(const compiler::CompileOptions &options = {}) const
+    {
+        return compiler::compile(program, options);
+    }
 };
 
 /** z = x + y over f32[n] with the given per-block tile. */

@@ -400,5 +400,11 @@ Script::finish()
     return prog;
 }
 
+lir::Kernel
+Script::compile(const compiler::CompileOptions &options)
+{
+    return compiler::compile(finish(), options);
+}
+
 } // namespace lang
 } // namespace tilus

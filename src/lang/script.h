@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/compiler.h"
 #include "ir/program.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
@@ -133,6 +134,13 @@ class Script
 
     /** Finalize: wraps statements, verifies, and returns the program. */
     ir::Program finish();
+
+    /**
+     * Finalize and compile in one step. Callers pin the optimization
+     * level (and every other lowering switch) through @p options; the
+     * default compiles at O2 like compiler::compile.
+     */
+    lir::Kernel compile(const compiler::CompileOptions &options = {});
 
   private:
     void push(ir::Stmt stmt);

@@ -45,7 +45,8 @@ ServingEngine::matmulUs(const LinearShape &shape, int64_t m,
             system = baselines::System::kCublas;
     }
     baselines::EvalResult result = baselines::evaluateMatmul(
-        system, rt_, wdtype, shape.n, shape.k, m, options_.group_size);
+        system, rt_, wdtype, shape.n, shape.k, m, options_.group_size,
+        options_.opt_level);
     if (!result.supported)
         throw SimError(model_.name + " " + shape.name + ": " +
                        result.reason);

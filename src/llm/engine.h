@@ -32,6 +32,9 @@ struct EngineOptions
     int64_t group_size = 128;   ///< sub-channel scale group
     int64_t context_tokens = 1024; ///< decode context per request
     int64_t max_batch = 16;     ///< KV reservation assumes this many
+    /** LIR pass-pipeline level of every kernel the engine compiles;
+        the serving cost paths inherit the optimizer's speedups. */
+    compiler::OptLevel opt_level = compiler::OptLevel::O2;
 };
 
 /**

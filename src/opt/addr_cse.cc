@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Loop-invariant address-expression CSE.
+ *
+ * Lowered kernels evaluate large shared address trees (global bases,
+ * tile offsets, stride products, bounds predicates) once per thread per
+ * op per iteration. Many subtrees are invariant across a loop: they
+ * reference only kernel parameters, block indices, outer loop variables,
+ * and the workspace pointer — never the thread index (a hoisted value
+ * becomes a uniform scalar assignment, which is block-wide) and never a
+ * variable defined inside the loop.
+ *
+ * For every loop the pass collects the *topmost* invariant subtrees of
+ * each expression site in the loop subtree, then hoists those that are
+ * repeated (count >= 2, size >= 2 nodes) or individually expensive
+ * (size >= 4 nodes) into `LAssign` temporaries in the loop preheader and
+ * rewrites the sites to reference the temporary. Hoisting is pure
+ * arithmetic: evaluating an address subtree early cannot fault (LIR
+ * divisions are by nonzero constants), so a zero-trip loop stays safe.
+ */
+#include <map>
+
+#include "opt/lir_rewrite.h"
+#include "opt/pass.h"
+
+namespace tilus {
+namespace opt {
+
+namespace {
+
+using namespace tilus::lir;
+
+/** Variable ids that make a subexpression non-hoistable. */
+struct Forbidden
+{
+    std::vector<int> ids;
+
+    bool
+    contains(int id) const
+    {
+        for (int x : ids)
+            if (x == id)
+                return true;
+        return false;
+    }
+};
+
+/** Ids defined inside the subtree: loop variables and LAssign targets. */
+void
+collectDefinedVars(const LBody &body, std::vector<int> &out)
+{
+    for (const LNode &node : body) {
+        if (std::holds_alternative<LFor>(node.node)) {
+            const auto &loop = std::get<LFor>(node.node);
+            out.push_back(loop.var.id());
+            collectDefinedVars(*loop.body, out);
+        } else if (std::holds_alternative<LIf>(node.node)) {
+            const auto &branch = std::get<LIf>(node.node);
+            collectDefinedVars(*branch.then_body, out);
+            if (branch.else_body)
+                collectDefinedVars(*branch.else_body, out);
+        } else if (std::holds_alternative<LWhile>(node.node)) {
+            collectDefinedVars(*std::get<LWhile>(node.node).body, out);
+        } else if (std::holds_alternative<LAssign>(node.node)) {
+            out.push_back(std::get<LAssign>(node.node).var.id());
+        }
+    }
+}
+
+bool
+isHoistable(const ir::Expr &expr, const Forbidden &forbidden)
+{
+    std::vector<int> ids;
+    ir::collectVarIds(expr, ids);
+    for (int id : ids)
+        if (forbidden.contains(id))
+            return false;
+    return true;
+}
+
+/** One hoisting candidate, keyed structurally. */
+struct HoistCandidate
+{
+    ir::Expr expr;
+    int64_t count = 0;
+    int64_t nodes = 0;
+    int64_t first_seen = 0; ///< deterministic ordering
+};
+
+/**
+ * Pointer-memoized ir::structuralKey. Serializing whole subtrees at
+ * every compound node of every site would be quadratic; expressions
+ * are immutable and widely shared, so one serialization per node
+ * suffices. Cached expressions are pinned (the Expr is stored next to
+ * its key) so a freed node's address can never be recycled into a
+ * stale cache hit mid-rewrite.
+ */
+class KeyCache
+{
+  public:
+    const std::string &
+    of(const ir::Expr &e)
+    {
+        auto [it, inserted] = cache_.try_emplace(e.get());
+        if (inserted)
+            it->second = {e, ir::structuralKey(e)};
+        return it->second.second;
+    }
+
+  private:
+    std::map<const ir::ExprNode *, std::pair<ir::Expr, std::string>>
+        cache_;
+};
+
+class AddressHoist : public Pass
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "addr-hoist";
+    }
+
+    bool
+    run(Kernel &kernel) override
+    {
+        Forbidden base;
+        base.ids.push_back(tidVar().id());
+        next_temp_ = 0;
+        keys_ = KeyCache();
+        return processBody(kernel.body, base);
+    }
+
+  private:
+    bool
+    processBody(LBody &body, const Forbidden &outer_forbidden)
+    {
+        bool changed = false;
+        for (size_t i = 0; i < body.size(); ++i) {
+            LNode &node = body[i];
+            if (std::holds_alternative<LFor>(node.node)) {
+                auto &loop = std::get<LFor>(node.node);
+                size_t inserted = hoistLoop(loop, outer_forbidden, body, i);
+                changed |= inserted > 0;
+                i += inserted; // skip the new preheader assigns
+                // `node`/`loop` may be dangling after insertion; re-fetch.
+                auto &loop2 = std::get<LFor>(body[i].node);
+                changed |= processBody(*loop2.body, outer_forbidden);
+            } else if (std::holds_alternative<LIf>(node.node)) {
+                auto &branch = std::get<LIf>(node.node);
+                changed |= processBody(*branch.then_body, outer_forbidden);
+                if (branch.else_body)
+                    changed |=
+                        processBody(*branch.else_body, outer_forbidden);
+            } else if (std::holds_alternative<LWhile>(node.node)) {
+                changed |= processBody(*std::get<LWhile>(node.node).body,
+                                       outer_forbidden);
+            }
+        }
+        return changed;
+    }
+
+    /**
+     * Hoist invariant subtrees of `loop` into preheader assigns inserted
+     * at `body[index]`; returns the number of inserted nodes.
+     */
+    size_t
+    hoistLoop(LFor &loop, const Forbidden &outer_forbidden, LBody &body,
+              size_t index)
+    {
+        Forbidden forbidden = outer_forbidden;
+        forbidden.ids.push_back(loop.var.id());
+        collectDefinedVars(*loop.body, forbidden.ids);
+
+        // Gather topmost invariant subtrees over every expression site.
+        std::map<std::string, HoistCandidate> candidates;
+        int64_t order = 0;
+        forEachBodyExpr(*loop.body, [&](ir::Expr &e) {
+            gather(e, forbidden, candidates, order, keys_);
+        });
+
+        // Select and order deterministically by first occurrence.
+        std::vector<const HoistCandidate *> selected;
+        for (const auto &[key, cand] : candidates) {
+            (void)key;
+            if ((cand.count >= 2 && cand.nodes >= 2) || cand.nodes >= 4)
+                selected.push_back(&cand);
+        }
+        if (selected.empty())
+            return 0;
+        std::sort(selected.begin(), selected.end(),
+                  [](const HoistCandidate *a, const HoistCandidate *b) {
+                      return a->first_seen < b->first_seen;
+                  });
+
+        // Create temporaries and the structural rewrite map.
+        std::map<std::string, ir::Expr> rewrite;
+        LBody assigns;
+        for (const HoistCandidate *cand : selected) {
+            ir::Var temp = ir::Var::make(
+                "inv" + std::to_string(next_temp_++),
+                cand->expr->dtype());
+            assigns.push_back(LNode{LAssign{temp, cand->expr}});
+            rewrite.emplace(keys_.of(cand->expr), ir::Expr(temp));
+        }
+
+        forEachBodyExpr(*loop.body, [&](ir::Expr &e) {
+            e = rewriteExpr(e, rewrite);
+        });
+
+        const size_t n = assigns.size();
+        body.insert(body.begin() + static_cast<long>(index),
+                    std::make_move_iterator(assigns.begin()),
+                    std::make_move_iterator(assigns.end()));
+        return n;
+    }
+
+    /** Record the topmost hoistable subtrees of `e`. */
+    static void
+    gather(const ir::Expr &e, const Forbidden &forbidden,
+           std::map<std::string, HoistCandidate> &candidates,
+           int64_t &order, KeyCache &keys)
+    {
+        const bool compound = e->kind() == ir::ExprKind::kUnary ||
+                              e->kind() == ir::ExprKind::kBinary ||
+                              e->kind() == ir::ExprKind::kSelect;
+        if (!compound)
+            return;
+        if (isHoistable(e, forbidden)) {
+            auto [it, inserted] =
+                candidates.emplace(keys.of(e), HoistCandidate{});
+            if (inserted) {
+                it->second.expr = e;
+                it->second.nodes = ir::exprNodeCount(e);
+                it->second.first_seen = order;
+            }
+            it->second.count += 1;
+            ++order;
+            return; // topmost only: do not descend
+        }
+        switch (e->kind()) {
+          case ir::ExprKind::kUnary:
+            gather(static_cast<const ir::UnaryNode &>(*e).a, forbidden,
+                   candidates, order, keys);
+            break;
+          case ir::ExprKind::kBinary: {
+            const auto &node = static_cast<const ir::BinaryNode &>(*e);
+            gather(node.a, forbidden, candidates, order, keys);
+            gather(node.b, forbidden, candidates, order, keys);
+            break;
+          }
+          case ir::ExprKind::kSelect: {
+            const auto &node = static_cast<const ir::SelectNode &>(*e);
+            gather(node.cond, forbidden, candidates, order, keys);
+            gather(node.on_true, forbidden, candidates, order, keys);
+            gather(node.on_false, forbidden, candidates, order, keys);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    /** Replace every mapped subtree with its temporary, top-down. */
+    ir::Expr
+    rewriteExpr(const ir::Expr &e,
+                const std::map<std::string, ir::Expr> &rewrite)
+    {
+        return ir::mapExpr(e, [&](const ir::Expr &sub) -> ir::Expr {
+            const bool compound =
+                sub->kind() == ir::ExprKind::kUnary ||
+                sub->kind() == ir::ExprKind::kBinary ||
+                sub->kind() == ir::ExprKind::kSelect;
+            if (!compound)
+                return nullptr;
+            auto it = rewrite.find(keys_.of(sub));
+            return it != rewrite.end() ? it->second : nullptr;
+        });
+    }
+
+    int next_temp_ = 0;
+    KeyCache keys_;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createAddressHoistPass()
+{
+    return std::make_unique<AddressHoist>();
+}
+
+} // namespace opt
+} // namespace tilus

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared LIR traversal and rewriting utilities for the pass suite:
+ * visiting every scalar expression of an operation or a whole body
+ * (address/predicate fields, loop extents, branch conditions, assign
+ * values), deep-cloning nodes (nested bodies are held by shared_ptr, so
+ * a plain copy would alias), and structural queries over subtrees.
+ */
+#pragma once
+
+#include <functional>
+
+#include "lir/lir.h"
+
+namespace tilus {
+namespace opt {
+
+/**
+ * Apply @p fn to every non-null ir::Expr field of @p op, allowing
+ * replacement (the callback receives the field by reference).
+ */
+void forEachOpExpr(lir::LOp &op, const std::function<void(ir::Expr &)> &fn);
+
+/** Const overload: visit every non-null expression of @p op. */
+void forEachOpExpr(const lir::LOp &op,
+                   const std::function<void(const ir::Expr &)> &fn);
+
+/**
+ * Recursively apply @p fn to every non-null expression in @p body:
+ * operation fields, LFor extents, LIf/LWhile conditions, and LAssign
+ * values.
+ */
+void forEachBodyExpr(lir::LBody &body,
+                     const std::function<void(ir::Expr &)> &fn);
+
+/** Const overload of forEachBodyExpr. */
+void forEachBodyExpr(const lir::LBody &body,
+                     const std::function<void(const ir::Expr &)> &fn);
+
+/** Visit every leaf operation of @p body, recursively. */
+void forEachOp(const lir::LBody &body,
+               const std::function<void(const lir::LOp &)> &fn);
+
+/** Visit every leaf operation of a single node, recursively. */
+void forEachOpInNode(const lir::LNode &node,
+                     const std::function<void(const lir::LOp &)> &fn);
+
+/** Does any leaf operation of @p body satisfy @p pred? */
+bool anyOp(const lir::LBody &body,
+           const std::function<bool(const lir::LOp &)> &pred);
+
+/** Deep copy (nested bodies are cloned, not aliased). */
+lir::LNode cloneNode(const lir::LNode &node);
+lir::LBody cloneBody(const lir::LBody &body);
+
+} // namespace opt
+} // namespace tilus

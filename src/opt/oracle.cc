@@ -1,0 +1,147 @@
+#include "opt/oracle.h"
+
+#include <cstring>
+
+#include "sim/device.h"
+#include "sim/interpreter.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace tilus {
+namespace opt {
+
+namespace {
+
+/** Pointer parameters are int64 (device byte offsets) by convention. */
+bool
+isPointerParam(const ir::Var &param)
+{
+    return param.dtype() == tilus::int64();
+}
+
+/** Fill the whole device with seeded pseudo-random bytes. */
+void
+fillDevice(sim::Device &device, int64_t bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> chunk(1 << 20);
+    int64_t written = 0;
+    while (written < bytes) {
+        const int64_t n =
+            std::min<int64_t>(bytes - written,
+                              static_cast<int64_t>(chunk.size()));
+        for (int64_t i = 0; i < n; i += 8) {
+            uint64_t word = rng.next();
+            std::memcpy(chunk.data() + i, &word,
+                        std::min<int64_t>(8, n - i));
+        }
+        device.write(static_cast<uint64_t>(written), chunk.data(), n);
+        written += n;
+    }
+}
+
+/** One functional run on a freshly seeded device. */
+sim::SimStats
+runSeeded(const lir::Kernel &kernel, const OracleConfig &config,
+          sim::Device &device)
+{
+    // Partition DRAM into equal arenas per pointer parameter; the final
+    // share is left unclaimed so the interpreter's workspace allocation
+    // lands behind the arenas (the bump pointer is advanced past them).
+    int64_t pointers = 0;
+    for (const ir::Var &param : kernel.params)
+        if (isPointerParam(param))
+            ++pointers;
+    const int64_t stride =
+        config.device_bytes / (pointers + 1) / 256 * 256;
+    TILUS_CHECK_MSG(stride > 0, "oracle device too small");
+
+    fillDevice(device, config.device_bytes, config.seed);
+    device.allocate(stride * pointers); // reserve the arenas
+
+    ir::Env env;
+    int64_t next_arena = 0;
+    for (const ir::Var &param : kernel.params) {
+        if (isPointerParam(param)) {
+            env.bind(param, next_arena);
+            next_arena += stride;
+            continue;
+        }
+        int64_t value = 1;
+        for (const auto &[name, v] : config.scalars)
+            if (name == param.name())
+                value = v;
+        env.bind(param, value);
+    }
+
+    sim::RunOptions options;
+    options.mode = sim::MemoryMode::kFunctional;
+    options.max_blocks = config.max_blocks;
+    options.enable_print = false;
+    return sim::run(kernel, env, &device, options);
+}
+
+} // namespace
+
+OracleReport
+diffKernels(const lir::Kernel &reference, const lir::Kernel &candidate,
+            const OracleConfig &config)
+{
+    OracleReport report;
+    report.listing_ref = lir::printKernel(reference);
+    report.listing_opt = lir::printKernel(candidate);
+
+    sim::Device dev_ref(config.device_bytes);
+    sim::Device dev_opt(config.device_bytes);
+    try {
+        report.stats_ref = runSeeded(reference, config, dev_ref);
+        report.stats_opt = runSeeded(candidate, config, dev_opt);
+    } catch (const TilusError &e) {
+        report.identical = false;
+        report.detail = std::string("execution failed: ") + e.what();
+        return report;
+    }
+
+    // Compare the entire DRAM byte for byte.
+    std::vector<uint8_t> a(1 << 20), b(1 << 20);
+    int64_t offset = 0;
+    while (offset < config.device_bytes) {
+        const int64_t n =
+            std::min<int64_t>(config.device_bytes - offset,
+                              static_cast<int64_t>(a.size()));
+        dev_ref.read(static_cast<uint64_t>(offset), a.data(), n);
+        dev_opt.read(static_cast<uint64_t>(offset), b.data(), n);
+        if (std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(n)) != 0) {
+            for (int64_t i = 0; i < n; ++i) {
+                if (a[i] != b[i]) {
+                    report.detail =
+                        "device byte " + std::to_string(offset + i) +
+                        ": reference=" + std::to_string(int(a[i])) +
+                        " candidate=" + std::to_string(int(b[i]));
+                    break;
+                }
+            }
+            report.identical = false;
+            return report;
+        }
+        offset += n;
+    }
+    report.identical = true;
+    return report;
+}
+
+OracleReport
+diffProgram(const ir::Program &program,
+            const compiler::CompileOptions &options,
+            const OracleConfig &config)
+{
+    compiler::CompileOptions ref_options = options;
+    ref_options.opt_level = compiler::OptLevel::O0;
+    lir::Kernel reference = compiler::compile(program, ref_options);
+    lir::Kernel candidate = compiler::compile(program, options);
+    return diffKernels(reference, candidate, config);
+}
+
+} // namespace opt
+} // namespace tilus

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The differential-testing oracle for LIR passes.
+ *
+ * Every pass-transformed kernel must be bit-identical to its
+ * unoptimized twin in the functional interpreter: the oracle compiles a
+ * program twice (reference at O0, candidate at the requested level),
+ * runs both on separately constructed but identically seeded simulated
+ * devices — the *entire* DRAM is pre-filled with the same pseudo-random
+ * bytes, and pointer parameters are bound to the same fixed arenas — and
+ * then compares the full device contents byte for byte. Because all of
+ * memory is compared, the oracle needs no knowledge of which tensors are
+ * outputs, and any stray write (or missing write, e.g. a synchronization
+ * the optimizer wrongly removed, surfacing as observable cp.async
+ * staleness) is caught wherever it lands.
+ */
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "ir/program.h"
+#include "sim/stats.h"
+
+namespace tilus {
+namespace opt {
+
+/** Inputs of one differential run. */
+struct OracleConfig
+{
+    /** Seed for the device-memory pre-fill. */
+    uint64_t seed = 0x7115A110;
+
+    /** Simulated DRAM size; pointer parameters split it evenly (the
+        last share is left for the kernel workspace). */
+    int64_t device_bytes = 16 << 20;
+
+    /** Scalar parameter bindings by name (e.g. {"m", 16}). Scalar
+        parameters not listed are bound to 1. */
+    std::vector<std::pair<std::string, int64_t>> scalars;
+
+    /** Execute only the first max_blocks blocks (-1 = all). */
+    int64_t max_blocks = -1;
+};
+
+/** Outcome of one differential run. */
+struct OracleReport
+{
+    bool identical = false;
+    std::string detail; ///< first mismatch (or the thrown error)
+    sim::SimStats stats_ref;
+    sim::SimStats stats_opt;
+    std::string listing_ref; ///< printKernel of the O0 twin
+    std::string listing_opt; ///< printKernel of the candidate
+};
+
+/**
+ * Run two compiled kernels of the *same program* differentially; the
+ * kernels must agree on parameters (they do when both come from
+ * compiler::compile on one program).
+ */
+OracleReport diffKernels(const lir::Kernel &reference,
+                         const lir::Kernel &candidate,
+                         const OracleConfig &config = {});
+
+/**
+ * Compile @p program at O0 and at @p options (typically O2) and compare
+ * the two kernels differentially.
+ */
+OracleReport diffProgram(const ir::Program &program,
+                         const compiler::CompileOptions &options = {},
+                         const OracleConfig &config = {});
+
+} // namespace opt
+} // namespace tilus

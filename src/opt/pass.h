@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The LIR optimizing pass interface. A pass is a named in-place
+ * transformation of a lowered kernel that must preserve the kernel's
+ * observable behaviour in the functional interpreter bit-for-bit —
+ * including the deliberately observable cp.async staleness hazards.
+ * Passes are composed by the PassManager (pass_manager.h) and validated
+ * by the differential oracle (oracle.h). The pass-author contract
+ * (legality rules, oracle usage) is documented in src/opt/README.md.
+ */
+#pragma once
+
+#include <memory>
+
+#include "lir/lir.h"
+
+namespace tilus {
+namespace opt {
+
+/** One named LIR-to-LIR transformation. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable pass name (used in reports, diffs, and bench output). */
+    virtual const char *name() const = 0;
+
+    /** Transform the kernel in place; return true iff anything changed. */
+    virtual bool run(lir::Kernel &kernel) = 0;
+};
+
+/// @name Factories for the initial pass suite.
+/// @{
+
+/**
+ * Software pipelining: restructures synchronous cp.async staging loops
+ * (copies / commit / wait 0 / barrier / compute) into a double-buffered
+ * prologue + steady state so copies stay in flight across compute and
+ * the timing model observes overlap.
+ */
+std::unique_ptr<Pass> createSoftwarePipelinePass();
+
+/** Removes provably redundant BarSync and CpAsyncWait operations. */
+std::unique_ptr<Pass> createSyncEliminationPass();
+
+/**
+ * Loop-invariant address-expression CSE: hoists repeated or large
+ * tid-free, iteration-invariant subexpressions into uniform scalar
+ * assignments in the loop preheader.
+ */
+std::unique_ptr<Pass> createAddressHoistPass();
+
+/**
+ * Dead tensor/storage elimination with view aliasing: removes operations
+ * whose only effect is writing register storage no remaining operation
+ * reads (directly or through a View alias), then prunes unreferenced
+ * tensor declarations and compacts storage ids.
+ */
+std::unique_ptr<Pass> createDeadTensorPass();
+/// @}
+
+} // namespace opt
+} // namespace tilus

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Software pipelining of synchronous cp.async staging loops.
+ *
+ * An unpipelined main loop — the Ladder failure mode of Figure 1(b) —
+ * has the shape
+ *
+ *     for v in range(E):
+ *         cp.async ... (stage tile v)      # leading copies
+ *         cp.async.commit_group
+ *         cp.async.wait_group 0            # tile v drained immediately
+ *         bar.sync
+ *         <compute on the staged tile>     # no further cp.async traffic
+ *
+ * where every iteration pays the full memory round trip because the copy
+ * for tile v is never in flight while compute runs. The pass rewrites it
+ * into a double-buffered prologue + steady state:
+ *
+ *     if 0 < E:
+ *         cp.async ... (tile 0 -> buffer parity 0)
+ *         cp.async.commit_group
+ *     for v in range(E):
+ *         cp.async.wait_group 0            # drain tile v
+ *         bar.sync
+ *         if v + 1 < E:
+ *             cp.async ... (tile v+1 -> parity (v+1)%2)
+ *             cp.async.commit_group
+ *         <compute, reading parity v%2>
+ *
+ * so the copy for tile v+1 overlaps the compute of tile v and the
+ * functional interpreter (and therefore the timing model) observes
+ * `overlapped = true`. Buffering is doubled by duplicating the entire
+ * shared-memory space: every shared address inside the loop gets a
+ * `parity * smem_bytes` term, which keeps copies, stores, and loads of
+ * one iteration mutually consistent without alias analysis.
+ *
+ * Legality (see src/opt/README.md): shared memory must be touched *only*
+ * inside candidate loops (staging before or after the loop would land in
+ * the wrong parity); every shared address in the loop must be
+ * independent of the loop variable (checked — rotation-style manual
+ * multi-buffering would carry data across the parity boundary); the
+ * transform is skipped when doubling would exceed the per-block
+ * shared-memory budget; and the loop body must not read a shared
+ * location before the iteration writes it (a scratch value carried from
+ * the previous iteration). The last condition is not structurally
+ * checkable without alias analysis: it holds by construction for the
+ * staging loops the compiler emits (copies rewrite the full staged
+ * region, rest stores precede their reads) and is enforced empirically
+ * by the differential oracle on every compiled kernel in the test suite.
+ */
+#include "opt/lir_rewrite.h"
+#include "opt/pass.h"
+
+namespace tilus {
+namespace opt {
+
+namespace {
+
+using namespace tilus::lir;
+
+/** Conservative per-block shared-memory cap (matches the templates). */
+constexpr int64_t kSmemBudgetBytes = 96 * 1024;
+
+bool
+touchesShared(const LOp &op)
+{
+    return std::holds_alternative<CpAsync>(op) ||
+           std::holds_alternative<LoadSharedVec>(op) ||
+           std::holds_alternative<StoreSharedVec>(op);
+}
+
+bool
+isAsyncControl(const LOp &op)
+{
+    return std::holds_alternative<CpAsync>(op) ||
+           std::holds_alternative<CpAsyncCommit>(op) ||
+           std::holds_alternative<CpAsyncWait>(op);
+}
+
+bool
+isComputeOp(const LOp &op)
+{
+    return std::holds_alternative<MmaTile>(op) ||
+           std::holds_alternative<SimtDot>(op) ||
+           std::holds_alternative<CastTensor>(op) ||
+           std::holds_alternative<EltwiseBinary>(op) ||
+           std::holds_alternative<EltwiseScalar>(op) ||
+           std::holds_alternative<EltwiseUnary>(op);
+}
+
+/** One matched staging loop (parent body addresses stay stable). */
+struct Candidate
+{
+    LBody *parent = nullptr; ///< body holding the loop node
+    size_t index = 0;        ///< position of the loop in the parent
+    size_t num_copies = 0;   ///< leading CpAsync count
+};
+
+bool restNodeLegal(const LNode &node);
+
+/**
+ * Does the loop match the synchronous-staging pattern? On success fills
+ * in @p num_copies.
+ */
+bool
+matchesPattern(const LFor &loop, size_t &num_copies)
+{
+    const LBody &body = *loop.body;
+    size_t i = 0;
+    while (i < body.size() && std::holds_alternative<LOp>(body[i].node) &&
+           std::holds_alternative<CpAsync>(std::get<LOp>(body[i].node)))
+        ++i;
+    num_copies = i;
+    if (i == 0 || i + 3 > body.size())
+        return false;
+    auto opAt = [&](size_t j) -> const LOp * {
+        if (!std::holds_alternative<LOp>(body[j].node))
+            return nullptr;
+        return &std::get<LOp>(body[j].node);
+    };
+    const LOp *commit = opAt(i);
+    const LOp *wait = opAt(i + 1);
+    const LOp *bar = opAt(i + 2);
+    if (!commit || !std::holds_alternative<CpAsyncCommit>(*commit))
+        return false;
+    if (!wait || !std::holds_alternative<CpAsyncWait>(*wait) ||
+        std::get<CpAsyncWait>(*wait).n != 0)
+        return false;
+    if (!bar || !std::holds_alternative<BarSync>(*bar))
+        return false;
+
+    // Every shared address in the loop must be independent of the loop
+    // variable: the staging region is then fully rewritten each
+    // iteration, which rules out rotation-style loop-carried uses that
+    // the parity rewrite would break.
+    bool smem_addr_varies = false;
+    auto checkSmemAddr = [&](const ir::Expr &addr) {
+        std::vector<int> ids;
+        ir::collectVarIds(addr, ids);
+        for (int id : ids)
+            if (id == loop.var.id())
+                smem_addr_varies = true;
+    };
+    forEachOp(body, [&](const LOp &op) {
+        if (std::holds_alternative<CpAsync>(op))
+            checkSmemAddr(std::get<CpAsync>(op).smem_addr);
+        else if (std::holds_alternative<LoadSharedVec>(op))
+            checkSmemAddr(std::get<LoadSharedVec>(op).addr);
+        else if (std::holds_alternative<StoreSharedVec>(op))
+            checkSmemAddr(std::get<StoreSharedVec>(op).addr);
+    });
+    if (smem_addr_varies)
+        return false;
+
+    // Validate the remainder ("rest"): compute + memory with no further
+    // async traffic, and no control transfers or scalar rebinding —
+    // anywhere in the subtree — that would invalidate the loop-variable
+    // substitution or the refill's execution order.
+    bool has_lds = false, has_compute = false, illegal = false;
+    for (size_t j = i + 3; j < body.size(); ++j) {
+        const LNode &node = body[j];
+        if (!restNodeLegal(node))
+            return false;
+        forEachOpInNode(node, [&](const LOp &op) {
+            if (isAsyncControl(op) ||
+                std::holds_alternative<ExitOp>(op))
+                illegal = true;
+            if (std::holds_alternative<LoadSharedVec>(op))
+                has_lds = true;
+            if (isComputeOp(op))
+                has_compute = true;
+        });
+        if (illegal)
+            return false;
+    }
+    return has_lds && has_compute;
+}
+
+/** No break/continue/while/assign anywhere in the rest subtree. */
+bool
+restNodeLegal(const LNode &node)
+{
+    if (std::holds_alternative<LBreak>(node.node) ||
+        std::holds_alternative<LContinue>(node.node) ||
+        std::holds_alternative<LWhile>(node.node) ||
+        std::holds_alternative<LAssign>(node.node))
+        return false;
+    auto bodyLegal = [](const LBody &body) {
+        for (const LNode &inner : body)
+            if (!restNodeLegal(inner))
+                return false;
+        return true;
+    };
+    if (std::holds_alternative<LFor>(node.node))
+        return bodyLegal(*std::get<LFor>(node.node).body);
+    if (std::holds_alternative<LIf>(node.node)) {
+        const auto &branch = std::get<LIf>(node.node);
+        if (!bodyLegal(*branch.then_body))
+            return false;
+        if (branch.else_body && !bodyLegal(*branch.else_body))
+            return false;
+    }
+    return true;
+}
+
+void
+findCandidates(LBody &body, std::vector<Candidate> &out)
+{
+    for (size_t i = 0; i < body.size(); ++i) {
+        LNode &node = body[i];
+        if (std::holds_alternative<LFor>(node.node)) {
+            auto &loop = std::get<LFor>(node.node);
+            size_t num_copies = 0;
+            if (matchesPattern(loop, num_copies)) {
+                out.push_back(Candidate{&body, i, num_copies});
+            } else {
+                findCandidates(*loop.body, out);
+            }
+        } else if (std::holds_alternative<LIf>(node.node)) {
+            auto &branch = std::get<LIf>(node.node);
+            findCandidates(*branch.then_body, out);
+            if (branch.else_body)
+                findCandidates(*branch.else_body, out);
+        } else if (std::holds_alternative<LWhile>(node.node)) {
+            findCandidates(*std::get<LWhile>(node.node).body, out);
+        }
+    }
+}
+
+/** Add `offset` to every shared-memory address in the subtree. */
+void
+shiftSharedAddrs(LBody &body, const ir::Expr &offset)
+{
+    for (LNode &node : body) {
+        if (std::holds_alternative<LOp>(node.node)) {
+            LOp &op = std::get<LOp>(node.node);
+            if (std::holds_alternative<LoadSharedVec>(op)) {
+                auto &o = std::get<LoadSharedVec>(op);
+                o.addr = o.addr + offset;
+            } else if (std::holds_alternative<StoreSharedVec>(op)) {
+                auto &o = std::get<StoreSharedVec>(op);
+                o.addr = o.addr + offset;
+            }
+        } else if (std::holds_alternative<LFor>(node.node)) {
+            shiftSharedAddrs(*std::get<LFor>(node.node).body, offset);
+        } else if (std::holds_alternative<LIf>(node.node)) {
+            auto &branch = std::get<LIf>(node.node);
+            shiftSharedAddrs(*branch.then_body, offset);
+            if (branch.else_body)
+                shiftSharedAddrs(*branch.else_body, offset);
+        } else if (std::holds_alternative<LWhile>(node.node)) {
+            shiftSharedAddrs(*std::get<LWhile>(node.node).body, offset);
+        }
+    }
+}
+
+class SoftwarePipeline : public Pass
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "pipeline-cpasync";
+    }
+
+    bool
+    run(Kernel &kernel) override
+    {
+        if (kernel.smem_bytes <= 0)
+            return false;
+        // Doubling must stay within the per-block shared-memory budget
+        // (96 KiB, the same conservative sm80+ bound the kernel
+        // templates validate against) or a kernel that launches at O0
+        // would fail to launch at O2.
+        if (kernel.smem_bytes * 2 > kSmemBudgetBytes)
+            return false;
+
+        std::vector<Candidate> candidates;
+        findCandidates(kernel.body, candidates);
+        if (candidates.empty())
+            return false;
+
+        // Shared memory outside candidate loops would break under the
+        // whole-space duplication; bail out conservatively.
+        int64_t total = 0, inside = 0;
+        forEachOp(kernel.body, [&](const LOp &op) {
+            if (touchesShared(op))
+                ++total;
+        });
+        for (const Candidate &cand : candidates) {
+            const auto &loop =
+                std::get<LFor>((*cand.parent)[cand.index].node);
+            forEachOp(*loop.body, [&](const LOp &op) {
+                if (touchesShared(op))
+                    ++inside;
+            });
+        }
+        if (total != inside)
+            return false;
+
+        // Reverse discovery order: candidates sharing a parent body are
+        // transformed back-to-front so prologue insertion does not shift
+        // the indices (or reallocate under the pointers) of pending ones.
+        const int64_t delta = kernel.smem_bytes;
+        for (auto it = candidates.rbegin(); it != candidates.rend(); ++it)
+            transform(*it, delta);
+        kernel.smem_bytes *= 2;
+        return true;
+    }
+
+  private:
+    static void
+    transform(const Candidate &cand, int64_t delta)
+    {
+        LFor &loop = std::get<LFor>((*cand.parent)[cand.index].node);
+        const LBody old_body = std::move(*loop.body);
+        const ir::Var v = loop.var;
+        const size_t n_copies = cand.num_copies;
+
+        ir::Expr parity_cur = (ir::Expr(v) % 2) * delta;
+        ir::Expr parity_next = ((ir::Expr(v) + 1) % 2) * delta;
+
+        // ---- Prologue: stage tile 0 into parity 0 (offset zero). ------
+        LBody prologue;
+        for (size_t j = 0; j < n_copies; ++j) {
+            LNode copy = cloneNode(old_body[j]);
+            forEachOpExpr(std::get<LOp>(copy.node), [&](ir::Expr &e) {
+                e = ir::substitute(
+                    e, {{v.id(), ir::constInt(0, v.dtype())}});
+            });
+            prologue.push_back(std::move(copy));
+        }
+        lir::push(prologue, CpAsyncCommit{});
+
+        // ---- Steady state. --------------------------------------------
+        LBody steady;
+        lir::push(steady, CpAsyncWait{0});
+        lir::push(steady, BarSync{});
+
+        LBody refill;
+        ir::Expr next = ir::Expr(v) + 1;
+        for (size_t j = 0; j < n_copies; ++j) {
+            LNode copy = cloneNode(old_body[j]);
+            forEachOpExpr(std::get<LOp>(copy.node), [&](ir::Expr &e) {
+                e = ir::substitute(e, {{v.id(), next}});
+            });
+            CpAsync &op = std::get<CpAsync>(std::get<LOp>(copy.node));
+            op.smem_addr = op.smem_addr + parity_next;
+            refill.push_back(std::move(copy));
+        }
+        lir::push(refill, CpAsyncCommit{});
+        LIf refill_guard;
+        refill_guard.cond =
+            ir::makeBinary(ir::BinaryOp::kLt, next, loop.extent);
+        refill_guard.then_body =
+            std::make_shared<LBody>(std::move(refill));
+        steady.push_back(LNode{std::move(refill_guard)});
+
+        // Rest of the original body, shifted to the current parity.
+        LBody rest;
+        for (size_t j = n_copies + 3; j < old_body.size(); ++j)
+            rest.push_back(cloneNode(old_body[j]));
+        shiftSharedAddrs(rest, parity_cur);
+        for (LNode &node : rest)
+            steady.push_back(std::move(node));
+
+        *loop.body = std::move(steady);
+
+        // ---- Splice the prologue in front of the loop, guarded when
+        // the trip count is not statically positive. -------------------
+        ir::Expr nonempty = ir::makeBinary(
+            ir::BinaryOp::kLt, ir::constInt(0, v.dtype()), loop.extent);
+        if (nonempty->kind() == ir::ExprKind::kConst &&
+            static_cast<const ir::ConstNode &>(*nonempty).ivalue != 0) {
+            cand.parent->insert(
+                cand.parent->begin() + static_cast<long>(cand.index),
+                std::make_move_iterator(prologue.begin()),
+                std::make_move_iterator(prologue.end()));
+        } else {
+            LIf guard;
+            guard.cond = nonempty;
+            guard.then_body =
+                std::make_shared<LBody>(std::move(prologue));
+            cand.parent->insert(
+                cand.parent->begin() + static_cast<long>(cand.index),
+                LNode{std::move(guard)});
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createSoftwarePipelinePass()
+{
+    return std::make_unique<SoftwarePipeline>();
+}
+
+} // namespace opt
+} // namespace tilus

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Redundant synchronization elimination.
+ *
+ * Two sound, purely structural rules (see src/opt/README.md):
+ *
+ *  1. A BarSync is redundant when no shared-memory-affecting operation
+ *     (shared load/store, cp.async traffic, or a cp.async wait — the
+ *     point where deferred copies become visible) has executed since the
+ *     previous BarSync on the same straight-line path. Barriers order
+ *     shared-memory accesses only; register traffic (mma, casts,
+ *     elementwise) and global accesses never need one.
+ *
+ *  2. A CpAsyncWait(n) is redundant when at most n cp.async groups can
+ *     be in flight at that point. Group counts are tracked along
+ *     straight-line code (commit increments, wait(n) clamps to n) and
+ *     conservatively invalidated across control flow that commits or
+ *     waits.
+ *
+ * The analysis deliberately refuses to remove anything it cannot prove:
+ * a barrier between a shared store and a shared load, or the wait that
+ * publishes staged data, must never fire (the interpreter makes the
+ * resulting staleness observable, and the hazard tests pin it).
+ */
+#include "opt/lir_rewrite.h"
+#include "opt/pass.h"
+
+namespace tilus {
+namespace opt {
+
+namespace {
+
+using namespace tilus::lir;
+
+/** Dataflow state along one straight-line path. */
+struct SyncState
+{
+    /** Committed groups possibly in flight; -1 = unknown. The
+        interpreter (like hardware) counts a group per commit even when
+        it is empty, so commits increment unconditionally. */
+    int groups = 0;
+    /** A BarSync was seen and nothing smem-affecting happened since. */
+    bool clean = false;
+};
+
+bool
+affectsShared(const LOp &op)
+{
+    return std::holds_alternative<LoadSharedVec>(op) ||
+           std::holds_alternative<StoreSharedVec>(op) ||
+           std::holds_alternative<CpAsync>(op) ||
+           std::holds_alternative<CpAsyncWait>(op);
+}
+
+bool
+isAsyncOrBarrier(const LOp &op)
+{
+    return std::holds_alternative<CpAsync>(op) ||
+           std::holds_alternative<CpAsyncCommit>(op) ||
+           std::holds_alternative<CpAsyncWait>(op) ||
+           std::holds_alternative<BarSync>(op);
+}
+
+class SyncElimination : public Pass
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "sync-elim";
+    }
+
+    bool
+    run(Kernel &kernel) override
+    {
+        SyncState state; // kernel entry: zero groups in flight
+        return processBody(kernel.body, state);
+    }
+
+  private:
+    bool
+    processBody(LBody &body, SyncState &st)
+    {
+        bool changed = false;
+        LBody out;
+        out.reserve(body.size());
+        for (LNode &node : body) {
+            if (std::holds_alternative<LOp>(node.node)) {
+                if (processOp(std::get<LOp>(node.node), st)) {
+                    changed = true;
+                    continue; // drop the node
+                }
+            } else if (std::holds_alternative<LFor>(node.node)) {
+                auto &loop = std::get<LFor>(node.node);
+                changed |= processNested(*loop.body, st,
+                                         /*is_loop=*/true);
+            } else if (std::holds_alternative<LWhile>(node.node)) {
+                auto &loop = std::get<LWhile>(node.node);
+                changed |= processNested(*loop.body, st,
+                                         /*is_loop=*/true);
+            } else if (std::holds_alternative<LIf>(node.node)) {
+                auto &branch = std::get<LIf>(node.node);
+                SyncState then_st = st, else_st = st;
+                changed |= processBody(*branch.then_body, then_st);
+                if (branch.else_body)
+                    changed |= processBody(*branch.else_body, else_st);
+                st.groups = (then_st.groups == else_st.groups)
+                                ? then_st.groups
+                                : -1;
+                st.clean = then_st.clean && else_st.clean;
+            } else if (std::holds_alternative<LBreak>(node.node) ||
+                       std::holds_alternative<LContinue>(node.node)) {
+                st = SyncState{-1, false};
+            }
+            // LAssign: no synchronization effect.
+            out.push_back(std::move(node));
+        }
+        body = std::move(out);
+        return changed;
+    }
+
+    /** Handle a nested loop body with conservative entry/exit states. */
+    bool
+    processNested(LBody &nested, SyncState &st, bool is_loop)
+    {
+        const bool touches = anyOp(nested, [](const LOp &op) {
+            return isAsyncOrBarrier(op) || affectsShared(op);
+        });
+        // Loop-body entry state is the back-edge join: unknown unless
+        // the body is synchronization-free.
+        SyncState entry = st;
+        if (is_loop)
+            entry.clean = false;
+        if (touches)
+            entry = SyncState{-1, false};
+        bool changed = processBody(nested, entry);
+        if (touches)
+            st = SyncState{-1, false};
+        // else: a synchronization-free subtree leaves the state intact.
+        return changed;
+    }
+
+    /** Returns true when the op is redundant and must be dropped. */
+    bool
+    processOp(LOp &op, SyncState &st)
+    {
+        if (std::holds_alternative<BarSync>(op)) {
+            if (st.clean)
+                return true;
+            st.clean = true;
+            return false;
+        }
+        if (std::holds_alternative<CpAsyncWait>(op)) {
+            const int n = std::get<CpAsyncWait>(op).n;
+            if (st.groups >= 0 && st.groups <= n)
+                return true;
+            st.groups = (st.groups < 0) ? n : std::min(st.groups, n);
+            st.clean = false; // deferred copies just became visible
+            return false;
+        }
+        if (std::holds_alternative<CpAsyncCommit>(op)) {
+            if (st.groups >= 0)
+                st.groups += 1;
+            return false;
+        }
+        if (affectsShared(op))
+            st.clean = false;
+        return false;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createSyncEliminationPass()
+{
+    return std::make_unique<SyncElimination>();
+}
+
+} // namespace opt
+} // namespace tilus

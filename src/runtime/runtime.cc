@@ -40,6 +40,7 @@ Runtime::getOrCompile(const ir::Program &program,
 {
     std::ostringstream key;
     key << program.name << "|arch=" << options.sm_arch
+        << "|opt=" << static_cast<int>(options.opt_level)
         << "|vec=" << options.enable_vectorize
         << "|ldm=" << options.enable_ldmatrix
         << "|scalar_cast=" << options.force_scalar_cast

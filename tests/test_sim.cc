@@ -207,13 +207,21 @@ timingConfig(DataType w, int stages)
 TEST(Timing, PipeliningReducesLatency)
 {
     runtime::Runtime rt(sim::l40s());
+    // O0 preserves the synchronous stages == 1 staging loop.
+    compiler::CompileOptions o0;
+    o0.opt_level = compiler::OptLevel::O0;
     auto unpiped = autotune::estimateConfig(rt, timingConfig(uint4(), 1),
-                                            16);
+                                            16, o0);
     auto piped = autotune::estimateConfig(rt, timingConfig(uint4(), 2),
                                           16);
     EXPECT_FALSE(unpiped.pipelined);
     EXPECT_TRUE(piped.pipelined);
     EXPECT_LT(piped.total_us, unpiped.total_us);
+    // The default O2 pipeline pass double-buffers the stages == 1 loop:
+    // pipelined, and faster than its O0 twin.
+    auto opt = autotune::estimateConfig(rt, timingConfig(uint4(), 1), 16);
+    EXPECT_TRUE(opt.pipelined);
+    EXPECT_LT(opt.total_us, unpiped.total_us);
 }
 
 TEST(Timing, MemoryBoundLatencyScalesWithWeightWidth)
