@@ -93,7 +93,8 @@ estimateConfig(runtime::Runtime &rt, const kernels::MatmulConfig &config,
         kernels::MatmulBundle bundle = kernels::buildMatmul(p);
         const lir::Kernel &kernel =
             rt.getOrCompile(bundle.main_program, opts);
-        return sim::traceOneBlock(kernel, ghostEnv(kernel, m));
+        // Via the runtime so the probe reuses the cached decoded program.
+        return rt.traceOneBlock(kernel, ghostEnv(kernel, m));
     };
     sim::SimStats s1 = probe(1);
     sim::SimStats s2 = probe(2);

@@ -6,7 +6,7 @@
 namespace tilus {
 
 uint64_t
-getBits(const uint8_t *data, int64_t bit_offset, int width)
+getBitsSlow(const uint8_t *data, int64_t bit_offset, int width)
 {
     TILUS_CHECK(width >= 1 && width <= 64);
     uint64_t value = 0;
@@ -26,7 +26,7 @@ getBits(const uint8_t *data, int64_t bit_offset, int width)
 }
 
 void
-setBits(uint8_t *data, int64_t bit_offset, int width, uint64_t value)
+setBitsSlow(uint8_t *data, int64_t bit_offset, int width, uint64_t value)
 {
     TILUS_CHECK(width >= 1 && width <= 64);
     int written = 0;

@@ -10,17 +10,64 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "dtype/data_type.h"
 
 namespace tilus {
 
-/** Read @p width bits (1..64) starting at absolute @p bit_offset. */
-uint64_t getBits(const uint8_t *data, int64_t bit_offset, int width);
+/** Generic bit-loop implementations (unaligned / sub-byte widths). */
+uint64_t getBitsSlow(const uint8_t *data, int64_t bit_offset, int width);
+void setBitsSlow(uint8_t *data, int64_t bit_offset, int width,
+                 uint64_t value);
+
+/**
+ * Read @p width bits (1..64) starting at absolute @p bit_offset.
+ *
+ * Byte-aligned accesses of whole-byte widths — every f16/f32 register
+ * element the simulator touches — take a straight memcpy (the packing
+ * order is LSB-first within each byte, i.e. little-endian byte order,
+ * which all supported targets share); everything else goes through the
+ * generic bit loop.
+ */
+inline uint64_t
+getBits(const uint8_t *data, int64_t bit_offset, int width)
+{
+    if (((bit_offset | width) & 7) == 0 && width >= 8 && width <= 64) {
+        uint64_t value = 0;
+        std::memcpy(&value, data + (bit_offset >> 3), width >> 3);
+        return value;
+    }
+    // Sub-byte element contained in one byte (u4 at even offsets, etc.).
+    const int in_byte = static_cast<int>(bit_offset & 7);
+    if (in_byte + width <= 8) {
+        return (static_cast<uint64_t>(data[bit_offset >> 3]) >> in_byte) &
+               ((1ull << width) - 1);
+    }
+    return getBitsSlow(data, bit_offset, width);
+}
 
 /** Write @p width bits (1..64) at @p bit_offset, preserving neighbours. */
-void setBits(uint8_t *data, int64_t bit_offset, int width, uint64_t value);
+inline void
+setBits(uint8_t *data, int64_t bit_offset, int width, uint64_t value)
+{
+    if (((bit_offset | width) & 7) == 0 && width >= 8 && width <= 64) {
+        std::memcpy(data + (bit_offset >> 3), &value, width >> 3);
+        return;
+    }
+    const int in_byte = static_cast<int>(bit_offset & 7);
+    if (in_byte + width <= 8) {
+        uint8_t &byte = data[bit_offset >> 3];
+        const uint8_t mask =
+            static_cast<uint8_t>(((1u << width) - 1) << in_byte);
+        byte = static_cast<uint8_t>(
+            (byte & ~mask) |
+            ((static_cast<uint8_t>(value) << in_byte) & mask));
+        return;
+    }
+    setBitsSlow(data, bit_offset, width, value);
+}
 
 /** Number of bytes needed to hold @p numel elements of @p dt, packed. */
 int64_t packedByteSize(const DataType &dt, int64_t numel);

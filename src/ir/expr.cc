@@ -492,6 +492,100 @@ structuralKey(const Expr &expr)
     return oss.str();
 }
 
+bool
+referencesVar(const Expr &expr, int var_id)
+{
+    switch (expr->kind()) {
+      case ExprKind::kConst:
+        return false;
+      case ExprKind::kVar:
+        return static_cast<const VarNode &>(*expr).id == var_id;
+      case ExprKind::kUnary:
+        return referencesVar(static_cast<const UnaryNode &>(*expr).a,
+                             var_id);
+      case ExprKind::kBinary: {
+        const auto &node = static_cast<const BinaryNode &>(*expr);
+        return referencesVar(node.a, var_id) ||
+               referencesVar(node.b, var_id);
+      }
+      case ExprKind::kSelect: {
+        const auto &node = static_cast<const SelectNode &>(*expr);
+        return referencesVar(node.cond, var_id) ||
+               referencesVar(node.on_true, var_id) ||
+               referencesVar(node.on_false, var_id);
+      }
+    }
+    TILUS_PANIC("unreachable");
+}
+
+bool
+decomposeAffine(const Expr &expr, int var_id, Expr *base, Expr *stride)
+{
+    if (!referencesVar(expr, var_id)) {
+        *base = expr;
+        *stride = constInt(0, expr->dtype());
+        return true;
+    }
+    switch (expr->kind()) {
+      case ExprKind::kConst:
+        TILUS_PANIC("unreachable"); // var-free, handled above
+      case ExprKind::kVar:
+        *base = constInt(0, expr->dtype());
+        *stride = constInt(1, expr->dtype());
+        return true;
+      case ExprKind::kUnary: {
+        const auto &node = static_cast<const UnaryNode &>(*expr);
+        if (node.op != UnaryOp::kNeg)
+            return false;
+        Expr b, s;
+        if (!decomposeAffine(node.a, var_id, &b, &s))
+            return false;
+        *base = makeUnary(UnaryOp::kNeg, b);
+        *stride = makeUnary(UnaryOp::kNeg, s);
+        return true;
+      }
+      case ExprKind::kBinary: {
+        const auto &node = static_cast<const BinaryNode &>(*expr);
+        Expr ba, sa, bb, sb;
+        switch (node.op) {
+          case BinaryOp::kAdd:
+          case BinaryOp::kSub:
+            if (!decomposeAffine(node.a, var_id, &ba, &sa) ||
+                !decomposeAffine(node.b, var_id, &bb, &sb))
+                return false;
+            *base = makeBinary(node.op, ba, bb);
+            *stride = makeBinary(node.op, sa, sb);
+            return true;
+          case BinaryOp::kMul:
+            // Exactly one side references the variable (both would be
+            // quadratic); the var-free side scales base and stride.
+            if (!referencesVar(node.a, var_id)) {
+                if (!decomposeAffine(node.b, var_id, &bb, &sb))
+                    return false;
+                *base = makeBinary(BinaryOp::kMul, node.a, bb);
+                *stride = makeBinary(BinaryOp::kMul, node.a, sb);
+                return true;
+            }
+            if (!referencesVar(node.b, var_id)) {
+                if (!decomposeAffine(node.a, var_id, &ba, &sa))
+                    return false;
+                *base = makeBinary(BinaryOp::kMul, ba, node.b);
+                *stride = makeBinary(BinaryOp::kMul, sa, node.b);
+                return true;
+            }
+            return false;
+          default:
+            // Division, modulo, shifts, bit ops, comparisons: affine only
+            // when var-free, which was handled above.
+            return false;
+        }
+      }
+      case ExprKind::kSelect:
+        return false;
+    }
+    return false;
+}
+
 int64_t
 provenDivisor(const Expr &expr,
               const std::vector<std::pair<int, int64_t>> &var_divisors)

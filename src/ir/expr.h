@@ -182,20 +182,44 @@ Expr minExpr(const Expr &a, const Expr &b);
 Expr maxExpr(const Expr &a, const Expr &b);
 /// @}
 
-/** Variable bindings used when evaluating expressions. */
+/**
+ * Variable bindings used when evaluating expressions.
+ *
+ * Most ids live in a dense value array with a presence bitmap, so
+ * bind/lookup are O(1) array accesses on the interpreter's hot path.
+ * Var ids are allocated process-globally, so the dense window is
+ * anchored at the first id bound into this Env (one kernel's variables
+ * cluster tightly even late in a long-running process); ids before the
+ * anchor, past the window, or negative keep the original linear-scan
+ * association list, so pathological id spaces stay correct.
+ */
 class Env
 {
   public:
+    /** Dense window span; ids past it use the linear-scan store. */
+    static constexpr int kMaxSpan = 1 << 16;
+
     void
     bind(int var_id, int64_t value)
     {
-        for (auto &[id, v] : bindings_) {
+        if (anchor_ < 0 && var_id >= 0)
+            anchor_ = var_id & ~63;
+        const int index = var_id - anchor_;
+        if (var_id >= 0 && index >= 0 && index < kMaxSpan) {
+            if (index >= static_cast<int>(dense_.size()))
+                growDense(index);
+            dense_[index] = value;
+            present_[static_cast<size_t>(index) >> 6] |=
+                1ull << (index & 63);
+            return;
+        }
+        for (auto &[id, v] : sparse_) {
             if (id == var_id) {
                 v = value;
                 return;
             }
         }
-        bindings_.emplace_back(var_id, value);
+        sparse_.emplace_back(var_id, value);
     }
 
     void bind(const Var &var, int64_t value) { bind(var.id(), value); }
@@ -203,7 +227,17 @@ class Env
     bool
     lookup(int var_id, int64_t &out) const
     {
-        for (const auto &[id, v] : bindings_) {
+        const int index = var_id - anchor_;
+        if (var_id >= 0 && anchor_ >= 0 && index >= 0 &&
+            index < kMaxSpan) {
+            if (index >= static_cast<int>(dense_.size()) ||
+                !(present_[static_cast<size_t>(index) >> 6] &
+                  (1ull << (index & 63))))
+                return false;
+            out = dense_[index];
+            return true;
+        }
+        for (const auto &[id, v] : sparse_) {
             if (id == var_id) {
                 out = v;
                 return true;
@@ -213,7 +247,20 @@ class Env
     }
 
   private:
-    std::vector<std::pair<int, int64_t>> bindings_;
+    void
+    growDense(int index)
+    {
+        // Round up generously so consecutive ids of one kernel trigger a
+        // single reallocation.
+        size_t size = (static_cast<size_t>(index) + 64) & ~size_t(63);
+        dense_.resize(size);
+        present_.resize(size >> 6, 0);
+    }
+
+    int anchor_ = -1; ///< dense window base id (first bound id, rounded)
+    std::vector<int64_t> dense_;
+    std::vector<uint64_t> present_; ///< one bit per dense_ entry
+    std::vector<std::pair<int, int64_t>> sparse_;
 };
 
 /** Evaluate an integer expression under an environment. */
@@ -268,6 +315,21 @@ int64_t exprNodeCount(const Expr &expr);
  * toString(), distinct variables sharing a display name do not collide.
  */
 std::string structuralKey(const Expr &expr);
+
+/**
+ * Try to decompose @p expr as `base + v * stride` where neither @p base
+ * nor @p stride references the variable @p var_id. Succeeds exactly when
+ * the expression is affine in that variable under +, -, unary minus, and
+ * multiplication by var-free factors (division, modulo, shifts,
+ * comparisons, and selects are affine only when their operands are
+ * var-free). On success the outputs are built through the constant-folding
+ * factories, so e.g. a var-free expression yields stride == const 0.
+ */
+bool decomposeAffine(const Expr &expr, int var_id, Expr *base,
+                     Expr *stride);
+
+/** True when @p expr does not reference the variable @p var_id. */
+bool referencesVar(const Expr &expr, int var_id);
 /// @}
 
 } // namespace ir

@@ -31,6 +31,161 @@ blockIdxVar(int dim)
     return vars[dim];
 }
 
+bool
+isTidFree(const ir::Expr &expr)
+{
+    return !ir::referencesVar(expr, tidVar().id());
+}
+
+namespace {
+
+/** True when @p expr references tid and no other variable. */
+bool
+isTidOnly(const ir::Expr &expr)
+{
+    std::vector<int> ids;
+    ir::collectVarIds(expr, ids);
+    bool saw_tid = false;
+    for (int id : ids) {
+        if (id != tidVar().id())
+            return false;
+        saw_tid = true;
+    }
+    return saw_tid;
+}
+
+/**
+ * Try to split @p expr into `base + tid_part` with a tid-free base and
+ * a pure-tid remainder. Distributes constant multipliers over sums and
+ * splits divisions by positive constants when provenDivisor shows both
+ * halves stay exact (layout lowering emits (sum * w) / 8 byte
+ * addresses, which must not round differently after splitting). Other
+ * operators — including right-shifts — separate only when one side is
+ * wholly tid-free or wholly tid-only.
+ */
+bool
+separateTid(const ir::Expr &expr, ir::Expr *base, ir::Expr *tid_part)
+{
+    if (isTidFree(expr)) {
+        *base = expr;
+        *tid_part = nullptr;
+        return true;
+    }
+    if (isTidOnly(expr)) {
+        *base = nullptr;
+        *tid_part = expr;
+        return true;
+    }
+    if (expr->kind() == ir::ExprKind::kUnary) {
+        const auto &node = static_cast<const ir::UnaryNode &>(*expr);
+        if (node.op != ir::UnaryOp::kNeg)
+            return false;
+        ir::Expr b, t;
+        if (!separateTid(node.a, &b, &t))
+            return false;
+        *base = b ? ir::makeUnary(ir::UnaryOp::kNeg, b) : nullptr;
+        *tid_part = t ? ir::makeUnary(ir::UnaryOp::kNeg, t) : nullptr;
+        return true;
+    }
+    if (expr->kind() != ir::ExprKind::kBinary)
+        return false;
+    const auto &node = static_cast<const ir::BinaryNode &>(*expr);
+    switch (node.op) {
+      case ir::BinaryOp::kAdd:
+      case ir::BinaryOp::kSub: {
+        ir::Expr ba, ta, bb, tb;
+        if (!separateTid(node.a, &ba, &ta) ||
+            !separateTid(node.b, &bb, &tb))
+            return false;
+        auto combine = [&](const ir::Expr &x,
+                           const ir::Expr &y) -> ir::Expr {
+            if (!x && !y)
+                return nullptr;
+            if (!x)
+                return node.op == ir::BinaryOp::kSub
+                           ? ir::makeUnary(ir::UnaryOp::kNeg, y)
+                           : y;
+            if (!y)
+                return x;
+            return ir::makeBinary(node.op, x, y);
+        };
+        *base = combine(ba, bb);
+        *tid_part = combine(ta, tb);
+        return true;
+      }
+      case ir::BinaryOp::kMul: {
+        // A constant factor distributes over the split of the other
+        // side; anything else would couple base and tid parts.
+        const ir::Expr &c = node.a->kind() == ir::ExprKind::kConst
+                                ? node.a
+                                : node.b;
+        const ir::Expr &other =
+            node.a->kind() == ir::ExprKind::kConst ? node.b : node.a;
+        if (c->kind() != ir::ExprKind::kConst)
+            return false;
+        ir::Expr b, t;
+        if (!separateTid(other, &b, &t))
+            return false;
+        *base = b ? ir::makeBinary(ir::BinaryOp::kMul, b, c) : nullptr;
+        *tid_part =
+            t ? ir::makeBinary(ir::BinaryOp::kMul, t, c) : nullptr;
+        return true;
+      }
+      case ir::BinaryOp::kDiv: {
+        // (base + tid_part) / c splits only when both halves are
+        // provably multiples of c (no mixed rounding).
+        if (node.b->kind() != ir::ExprKind::kConst)
+            return false;
+        int64_t c = static_cast<const ir::ConstNode &>(*node.b).ivalue;
+        if (c <= 0)
+            return false;
+        ir::Expr b, t;
+        if (!separateTid(node.a, &b, &t))
+            return false;
+        if (b && ir::provenDivisor(b) % c != 0)
+            return false;
+        if (t && ir::provenDivisor(t) % c != 0)
+            return false;
+        *base = b ? ir::makeBinary(ir::BinaryOp::kDiv, b, node.b)
+                  : nullptr;
+        *tid_part = t ? ir::makeBinary(ir::BinaryOp::kDiv, t, node.b)
+                      : nullptr;
+        return true;
+      }
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+ThreadExprParts
+classifyThreadExpr(const ir::Expr &expr)
+{
+    ThreadExprParts parts;
+    if (isTidFree(expr)) {
+        parts.kind = ThreadExprKind::kUniform;
+        parts.base = expr;
+        return parts;
+    }
+    ir::Expr base, stride;
+    if (ir::decomposeAffine(expr, tidVar().id(), &base, &stride)) {
+        parts.kind = ThreadExprKind::kAffine;
+        parts.base = std::move(base);
+        parts.stride = std::move(stride);
+        return parts;
+    }
+    ir::Expr tid_part;
+    if (separateTid(expr, &base, &tid_part) && tid_part) {
+        parts.kind = ThreadExprKind::kSeparable;
+        parts.base = std::move(base); // may be null (pure-tid expression)
+        parts.tid_part = std::move(tid_part);
+        return parts;
+    }
+    parts.kind = ThreadExprKind::kGeneric;
+    return parts;
+}
+
 const TensorDecl &
 Kernel::tensor(int id) const
 {

@@ -320,5 +320,43 @@ struct Kernel
 /** Render the kernel as a PTX-like listing (for debugging and tests). */
 std::string printKernel(const Kernel &kernel);
 
+/// @name Decode-time expression classification (sim/microop decoder).
+/// @{
+
+/** How a leaf-op expression depends on the thread index. */
+enum class ThreadExprKind : uint8_t
+{
+    kUniform,   ///< no tid reference: evaluate once per op execution
+    kAffine,    ///< base + tid * stride with tid-free base/stride
+    kSeparable, ///< base + f(tid), f referencing only tid and constants
+    kGeneric,   ///< arbitrary tid dependence: evaluate per thread
+};
+
+/** Result of classifyThreadExpr. */
+struct ThreadExprParts
+{
+    ThreadExprKind kind = ThreadExprKind::kGeneric;
+    ir::Expr base;   ///< kUniform: the expression itself; else base part
+    ir::Expr stride; ///< kAffine only: per-thread stride (tid-free)
+    ir::Expr tid_part; ///< kSeparable only: pure function of tid
+};
+
+/** True when @p expr does not reference tidVar(). */
+bool isTidFree(const ir::Expr &expr);
+
+/**
+ * Classify a leaf-op address/predicate expression for pre-decoding:
+ * tid-free expressions are uniform; expressions affine in tidVar()
+ * (ir::decomposeAffine) split into tid-free base and stride; sums that
+ * separate into a tid-free base plus a pure-tid term — including the
+ * swizzled (tid / a) % b patterns layouts produce, distributing
+ * constant multipliers and divisions whose divisibility provenDivisor
+ * can prove — become base + f(tid) with f tabulated per thread at
+ * decode time; everything else stays per-thread. Optimizer passes must
+ * keep emitted addresses within these shapes (see src/sim/README.md).
+ */
+ThreadExprParts classifyThreadExpr(const ir::Expr &expr);
+/// @}
+
 } // namespace lir
 } // namespace tilus

@@ -40,10 +40,11 @@ fillDevice(sim::Device &device, int64_t bytes, uint64_t seed)
     }
 }
 
-/** One functional run on a freshly seeded device. */
+} // namespace
+
 sim::SimStats
 runSeeded(const lir::Kernel &kernel, const OracleConfig &config,
-          sim::Device &device)
+          sim::Device &device, sim::Engine engine)
 {
     // Partition DRAM into equal arenas per pointer parameter; the final
     // share is left unclaimed so the interpreter's workspace allocation
@@ -78,14 +79,50 @@ runSeeded(const lir::Kernel &kernel, const OracleConfig &config,
     options.mode = sim::MemoryMode::kFunctional;
     options.max_blocks = config.max_blocks;
     options.enable_print = false;
+    options.engine = engine;
     return sim::run(kernel, env, &device, options);
 }
 
-} // namespace
+bool
+devicesIdentical(sim::Device &a, sim::Device &b, int64_t bytes,
+                 std::string *detail)
+{
+    std::vector<uint8_t> buf_a(1 << 20), buf_b(1 << 20);
+    int64_t offset = 0;
+    while (offset < bytes) {
+        const int64_t n = std::min<int64_t>(
+            bytes - offset, static_cast<int64_t>(buf_a.size()));
+        a.read(static_cast<uint64_t>(offset), buf_a.data(), n);
+        b.read(static_cast<uint64_t>(offset), buf_b.data(), n);
+        if (std::memcmp(buf_a.data(), buf_b.data(),
+                        static_cast<size_t>(n)) != 0) {
+            if (detail != nullptr) {
+                for (int64_t i = 0; i < n; ++i) {
+                    if (buf_a[i] != buf_b[i]) {
+                        *detail =
+                            "device byte " + std::to_string(offset + i) +
+                            ": reference=" +
+                            std::to_string(int(buf_a[i])) +
+                            " candidate=" +
+                            std::to_string(int(buf_b[i]));
+                        break;
+                    }
+                }
+            }
+            return false;
+        }
+        offset += n;
+    }
+    return true;
+}
 
+namespace {
+
+/** Shared tail of both diff flavours: run both sides and compare DRAM. */
 OracleReport
-diffKernels(const lir::Kernel &reference, const lir::Kernel &candidate,
-            const OracleConfig &config)
+diffRuns(const lir::Kernel &reference, sim::Engine ref_engine,
+         const lir::Kernel &candidate, sim::Engine cand_engine,
+         const OracleConfig &config)
 {
     OracleReport report;
     report.listing_ref = lir::printKernel(reference);
@@ -94,41 +131,36 @@ diffKernels(const lir::Kernel &reference, const lir::Kernel &candidate,
     sim::Device dev_ref(config.device_bytes);
     sim::Device dev_opt(config.device_bytes);
     try {
-        report.stats_ref = runSeeded(reference, config, dev_ref);
-        report.stats_opt = runSeeded(candidate, config, dev_opt);
+        report.stats_ref = runSeeded(reference, config, dev_ref,
+                                     ref_engine);
+        report.stats_opt = runSeeded(candidate, config, dev_opt,
+                                     cand_engine);
     } catch (const TilusError &e) {
         report.identical = false;
         report.detail = std::string("execution failed: ") + e.what();
         return report;
     }
-
-    // Compare the entire DRAM byte for byte.
-    std::vector<uint8_t> a(1 << 20), b(1 << 20);
-    int64_t offset = 0;
-    while (offset < config.device_bytes) {
-        const int64_t n =
-            std::min<int64_t>(config.device_bytes - offset,
-                              static_cast<int64_t>(a.size()));
-        dev_ref.read(static_cast<uint64_t>(offset), a.data(), n);
-        dev_opt.read(static_cast<uint64_t>(offset), b.data(), n);
-        if (std::memcmp(a.data(), b.data(),
-                        static_cast<size_t>(n)) != 0) {
-            for (int64_t i = 0; i < n; ++i) {
-                if (a[i] != b[i]) {
-                    report.detail =
-                        "device byte " + std::to_string(offset + i) +
-                        ": reference=" + std::to_string(int(a[i])) +
-                        " candidate=" + std::to_string(int(b[i]));
-                    break;
-                }
-            }
-            report.identical = false;
-            return report;
-        }
-        offset += n;
-    }
-    report.identical = true;
+    report.identical = devicesIdentical(dev_ref, dev_opt,
+                                        config.device_bytes,
+                                        &report.detail);
     return report;
+}
+
+} // namespace
+
+OracleReport
+diffKernels(const lir::Kernel &reference, const lir::Kernel &candidate,
+            const OracleConfig &config)
+{
+    return diffRuns(reference, sim::Engine::kAuto, candidate,
+                    sim::Engine::kAuto, config);
+}
+
+OracleReport
+diffEngines(const lir::Kernel &kernel, const OracleConfig &config)
+{
+    return diffRuns(kernel, sim::Engine::kTreeWalk, kernel,
+                    sim::Engine::kMicroOps, config);
 }
 
 OracleReport

@@ -22,6 +22,8 @@
 
 #include "compiler/compiler.h"
 #include "ir/program.h"
+#include "sim/device.h"
+#include "sim/interpreter.h"
 #include "sim/stats.h"
 
 namespace tilus {
@@ -72,6 +74,32 @@ OracleReport diffKernels(const lir::Kernel &reference,
 OracleReport diffProgram(const ir::Program &program,
                          const compiler::CompileOptions &options = {},
                          const OracleConfig &config = {});
+
+/**
+ * Run one kernel under two *engines* differentially: the tree-walk
+ * interpreter as the reference, the pre-decoded micro-op engine as the
+ * candidate, on identically seeded devices with the whole-DRAM byte
+ * compare. This is the correctness oracle for sim/microop.cc: every
+ * decoded kernel must be observably indistinguishable from the tree
+ * walk (tests/test_microop.cc covers the kernel suite with it).
+ */
+OracleReport diffEngines(const lir::Kernel &kernel,
+                         const OracleConfig &config = {});
+
+/**
+ * One functional run on a freshly seeded device under a chosen engine
+ * (the building block of both diff flavours; bench_interp times it).
+ */
+sim::SimStats runSeeded(const lir::Kernel &kernel,
+                        const OracleConfig &config, sim::Device &device,
+                        sim::Engine engine = sim::Engine::kAuto);
+
+/**
+ * Byte-compare two devices; on mismatch writes the first differing
+ * offset into @p detail (when non-null) and returns false.
+ */
+bool devicesIdentical(sim::Device &a, sim::Device &b, int64_t bytes,
+                      std::string *detail = nullptr);
 
 } // namespace opt
 } // namespace tilus

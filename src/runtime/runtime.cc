@@ -47,13 +47,30 @@ Runtime::getOrCompile(const ir::Program &program,
         << "|no_cpasync=" << options.forbid_cp_async;
     auto it = cache_.find(key.str());
     if (it != cache_.end())
-        return *it->second;
-    auto kernel =
+        return *it->second.kernel;
+    CachedKernel entry;
+    entry.kernel =
         std::make_unique<lir::Kernel>(compiler::compile(program, options));
     ++compile_count_;
-    auto [pos, inserted] = cache_.emplace(key.str(), std::move(kernel));
+    auto [pos, inserted] = cache_.emplace(key.str(), std::move(entry));
     TILUS_CHECK(inserted);
-    return *pos->second;
+    entries_.emplace(pos->second.kernel.get(), &pos->second);
+    return *pos->second.kernel;
+}
+
+const sim::MicroProgram *
+Runtime::cachedProgram(const lir::Kernel &kernel) const
+{
+    if (sim::resolveEngine(sim::Engine::kAuto) == sim::Engine::kTreeWalk)
+        return nullptr;
+    auto it = entries_.find(&kernel);
+    if (it == entries_.end())
+        return nullptr;
+    CachedKernel &entry = *it->second;
+    if (!entry.program)
+        entry.program = std::make_unique<sim::MicroProgram>(
+            sim::compileMicroProgram(kernel));
+    return entry.program.get();
 }
 
 ir::Env
@@ -100,7 +117,16 @@ Runtime::launch(const lir::Kernel &kernel, const std::vector<KernelArg> &args)
                               << kernel.smem_bytes
                               << " B shared memory; device limit is "
                               << spec_.max_smem_per_block);
-    return sim::run(kernel, toEnv(kernel, args), &device_);
+    sim::RunOptions options;
+    options.micro_program = cachedProgram(kernel);
+    return sim::run(kernel, toEnv(kernel, args), &device_, options);
+}
+
+sim::SimStats
+Runtime::traceOneBlock(const lir::Kernel &kernel,
+                       const ir::Env &args) const
+{
+    return sim::traceOneBlock(kernel, args, cachedProgram(kernel));
 }
 
 sim::LatencyBreakdown
@@ -110,7 +136,7 @@ Runtime::estimate(const lir::Kernel &kernel,
 {
     checkArch(kernel);
     ir::Env env = toEnv(kernel, args);
-    sim::SimStats block_stats = sim::traceOneBlock(kernel, env);
+    sim::SimStats block_stats = traceOneBlock(kernel, env);
     return sim::estimateLatency(kernel, block_stats, env, spec_, traits);
 }
 

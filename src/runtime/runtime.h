@@ -20,6 +20,7 @@
 #include "sim/device.h"
 #include "sim/gpu_spec.h"
 #include "sim/interpreter.h"
+#include "sim/microop.h"
 #include "sim/timing.h"
 
 namespace tilus {
@@ -74,7 +75,9 @@ class Runtime
     /**
      * Compile (or fetch from cache) a program. The cache key is the
      * program name plus the option fingerprint; the paper's runtime keeps
-     * the same in-memory kernel cache to avoid recompilation.
+     * the same in-memory kernel cache to avoid recompilation. The kernel
+     * is pre-decoded for the micro-op engine at the same time, so every
+     * launch and autotune probe of a cached kernel pays decode once.
      */
     const lir::Kernel &getOrCompile(const ir::Program &program,
                                     const compiler::CompileOptions &options);
@@ -82,9 +85,25 @@ class Runtime
     /** Number of compilations performed (cache effectiveness metric). */
     int compileCount() const { return compile_count_; }
 
+    /**
+     * The cached pre-decoded program for a kernel obtained from
+     * getOrCompile, decoding it on first use (null for foreign kernels —
+     * sim::run then decodes on the fly — and when the process is pinned
+     * to the tree-walk engine, where decoding would be pure overhead).
+     */
+    const sim::MicroProgram *cachedProgram(const lir::Kernel &kernel) const;
+
     /** Launch a kernel functionally over all blocks. */
     sim::SimStats launch(const lir::Kernel &kernel,
                          const std::vector<KernelArg> &args);
+
+    /**
+     * Ghost-trace one block, reusing the cached decoded program when the
+     * kernel came from this runtime's cache (autotune probes call this
+     * thousands of times per tuning run).
+     */
+    sim::SimStats traceOneBlock(const lir::Kernel &kernel,
+                                const ir::Env &args) const;
 
     /**
      * Estimate the kernel's latency on this runtime's GPU by tracing one
@@ -95,13 +114,23 @@ class Runtime
                                    const sim::PerfTraits &traits = {});
 
   private:
+    /** A compiled kernel and its pre-decoded micro-op program. */
+    struct CachedKernel
+    {
+        std::unique_ptr<lir::Kernel> kernel;
+        std::unique_ptr<sim::MicroProgram> program;
+    };
+
     static ir::Env toEnv(const lir::Kernel &kernel,
                          const std::vector<KernelArg> &args);
     void checkArch(const lir::Kernel &kernel) const;
 
     sim::GpuSpec spec_;
     sim::Device device_;
-    std::map<std::string, std::unique_ptr<lir::Kernel>> cache_;
+    /// Values are decoded lazily by cachedProgram; node addresses are
+    /// stable, so entries_ may point into the map.
+    mutable std::map<std::string, CachedKernel> cache_;
+    mutable std::map<const lir::Kernel *, CachedKernel *> entries_;
     int compile_count_ = 0;
 };
 

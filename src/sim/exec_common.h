@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Semantics shared by the two execution engines (the tree-walk
+ * interpreter and the pre-decoded micro-op engine): the deferred
+ * cp.async group queue with pipelining detection, warp sector counting,
+ * the elementwise binary reference, and register-tensor printing. Both
+ * engines must be observably indistinguishable (opt::diffEngines), so
+ * the trickiest shared behaviour lives here exactly once.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "ir/instruction.h"
+#include "lir/lir.h"
+#include "sim/device.h"
+#include "sim/interpreter.h"
+#include "sim/stats.h"
+#include "support/error.h"
+
+namespace tilus {
+namespace sim {
+namespace detail {
+
+/** One queued cp.async transfer (addresses already evaluated). */
+struct PendingCopy
+{
+    int64_t smem_addr;
+    int64_t gmem_addr;
+    int bytes;
+    bool active; ///< predicate value at issue time
+};
+
+/**
+ * The deferred cp.async machinery: copies queue into an open group,
+ * commit closes the group, and a wait drains groups down to a depth —
+ * only then do the bytes land in shared memory, so a missing wait
+ * observably yields stale data, just like hardware. Compute issued
+ * after a commit but before its drain means the copy was genuinely in
+ * flight during compute: pipelined.
+ */
+class CpAsyncQueue
+{
+  public:
+    void push(PendingCopy copy) { current_.push_back(copy); }
+
+    /** The open group (the ghost-mode warp sampler inspects its tail). */
+    const std::vector<PendingCopy> &current() const { return current_; }
+
+    void
+    commit(int64_t compute_mark, SimStats &stats)
+    {
+        groups_.push_back(Group{std::move(current_), compute_mark});
+        current_.clear();
+        stats.cp_commits += 1;
+        stats.max_groups_in_flight =
+            std::max(stats.max_groups_in_flight,
+                     static_cast<int>(groups_.size()));
+    }
+
+    void
+    drainTo(int n, int64_t compute_ops, std::vector<uint8_t> &smem,
+            Device *device, const RunOptions &options, SimStats &stats)
+    {
+        while (static_cast<int>(groups_.size()) > n) {
+            if (compute_ops > groups_.front().compute_mark)
+                stats.overlapped = true;
+            for (const PendingCopy &copy : groups_.front().copies)
+                applyCopy(copy, smem, device, options);
+            groups_.erase(groups_.begin());
+        }
+    }
+
+  private:
+    struct Group
+    {
+        std::vector<PendingCopy> copies;
+        int64_t compute_mark; ///< compute ops executed at commit time
+    };
+
+    static void
+    applyCopy(const PendingCopy &copy, std::vector<uint8_t> &smem,
+              Device *device, const RunOptions &options)
+    {
+        TILUS_CHECK_MSG(copy.smem_addr >= 0 &&
+                            copy.smem_addr + copy.bytes <=
+                                static_cast<int64_t>(smem.size()),
+                        "cp.async writes outside shared memory");
+        if (!copy.active || options.mode == MemoryMode::kGhost ||
+            device == nullptr) {
+            std::memset(smem.data() + copy.smem_addr, 0, copy.bytes);
+            return;
+        }
+        device->read(static_cast<uint64_t>(copy.gmem_addr),
+                     smem.data() + copy.smem_addr, copy.bytes);
+    }
+
+    std::vector<Group> groups_;
+    std::vector<PendingCopy> current_;
+};
+
+/**
+ * Count the distinct 32-byte sectors a warp touches (coalescing
+ * metric). Skipped in ghost traces: the analytical model consumes byte
+ * counts, and sector sets dominate trace time.
+ */
+inline void
+countSectors(const std::vector<std::pair<int64_t, int>> &accesses,
+             const RunOptions &options, SimStats &stats)
+{
+    if (options.mode == MemoryMode::kGhost)
+        return;
+    std::set<int64_t> sectors;
+    for (const auto &[addr, bytes] : accesses) {
+        for (int64_t s = addr / 32; s <= (addr + bytes - 1) / 32; ++s)
+            sectors.insert(s);
+    }
+    stats.global_sectors += static_cast<int64_t>(sectors.size());
+}
+
+/** Reference semantics of the elementwise tensor binary operators. */
+inline double
+applyTensorBinary(int op, double a, double b)
+{
+    switch (static_cast<ir::TensorBinaryOp>(op)) {
+      case ir::TensorBinaryOp::kAdd: return a + b;
+      case ir::TensorBinaryOp::kSub: return a - b;
+      case ir::TensorBinaryOp::kMul: return a * b;
+      case ir::TensorBinaryOp::kDiv: return a / b;
+      case ir::TensorBinaryOp::kMod:
+        return a - b * std::floor(a / b);
+    }
+    TILUS_PANIC("bad tensor binary op");
+}
+
+/**
+ * Debug print of a register tensor; @p read maps (thread, slot) to the
+ * decoded element value (each engine supplies its own accessor).
+ */
+template <typename ReadFn>
+void
+printTensor(const lir::TensorDecl &t, ReadFn read)
+{
+    const auto &shape = t.layout.shape();
+    std::cout << t.name << " = " << t.dtype.name() << "[";
+    for (size_t d = 0; d < shape.size(); ++d)
+        std::cout << (d ? ", " : "") << shape[d];
+    std::cout << "]\n";
+    // Gather through the layout (replica 0 holds the canonical copy).
+    std::vector<int64_t> idx(shape.size(), 0);
+    int64_t rows = shape.size() >= 2 ? shape[0] : 1;
+    int64_t cols = shape.size() >= 2 ? shape[1] : shape[0];
+    for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t cidx = 0; cidx < cols; ++cidx) {
+            if (shape.size() >= 2) {
+                idx[0] = r;
+                idx[1] = cidx;
+            } else {
+                idx[0] = cidx;
+            }
+            auto [thread, slot] = t.layout.threadLocalOf(idx);
+            std::cout << (cidx ? " " : "") << read(thread, slot);
+        }
+        std::cout << "\n";
+    }
+}
+
+} // namespace detail
+} // namespace sim
+} // namespace tilus

@@ -1,14 +1,18 @@
 #include "sim/interpreter.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <set>
 
 #include "dtype/cast.h"
 #include "dtype/packing.h"
 #include "ir/instruction.h"
 #include "layout/atoms.h"
+#include "sim/exec_common.h"
+#include "sim/microop.h"
 #include "support/error.h"
 #include "support/math_util.h"
 
@@ -19,29 +23,8 @@ namespace {
 
 using namespace tilus::lir;
 
-/** One queued cp.async transfer (addresses already evaluated). */
-struct PendingCopy
-{
-    int64_t smem_addr;
-    int64_t gmem_addr;
-    int bytes;
-    bool active; ///< predicate value at issue time
-};
-
-/** Reference semantics of the elementwise tensor binary operators. */
-double
-applyBinary(int op, double a, double b)
-{
-    switch (static_cast<ir::TensorBinaryOp>(op)) {
-      case ir::TensorBinaryOp::kAdd: return a + b;
-      case ir::TensorBinaryOp::kSub: return a - b;
-      case ir::TensorBinaryOp::kMul: return a * b;
-      case ir::TensorBinaryOp::kDiv: return a / b;
-      case ir::TensorBinaryOp::kMod:
-        return a - b * std::floor(a / b);
-    }
-    TILUS_PANIC("bad tensor binary op");
-}
+using detail::PendingCopy;
+using detail::applyTensorBinary;
 
 /** Executes a single thread block. */
 class BlockExecutor
@@ -74,8 +57,7 @@ class BlockExecutor
         block_env_ = block_env;
         thread_env_ = block_env;
         exited_ = false;
-        groups_.clear();
-        current_group_.clear();
+        queue_ = detail::CpAsyncQueue();
         execBody(kernel_.body);
         // Hardware drains outstanding copies at kernel end; mirror that so
         // a forgotten final wait is not a hidden leak (the data is simply
@@ -180,52 +162,16 @@ class BlockExecutor
         }
     }
 
-    /**
-     * Count the distinct 32-byte sectors a warp touches (coalescing
-     * metric). Skipped in ghost traces: the analytical model consumes
-     * byte counts, and sector sets dominate trace time.
-     */
     void
     countSectors(const std::vector<std::pair<int64_t, int>> &accesses)
     {
-        if (options_.mode == MemoryMode::kGhost)
-            return;
-        std::set<int64_t> sectors;
-        for (const auto &[addr, bytes] : accesses) {
-            for (int64_t s = addr / 32; s <= (addr + bytes - 1) / 32; ++s)
-                sectors.insert(s);
-        }
-        stats_.global_sectors += static_cast<int64_t>(sectors.size());
+        detail::countSectors(accesses, options_, stats_);
     }
 
     void
     drainTo(int n)
     {
-        while (static_cast<int>(groups_.size()) > n) {
-            // Compute issued after the commit but before this drain means
-            // the copy was genuinely in flight during compute: pipelined.
-            if (compute_ops_ > groups_.front().compute_mark)
-                stats_.overlapped = true;
-            for (const PendingCopy &copy : groups_.front().copies)
-                applyCopy(copy);
-            groups_.erase(groups_.begin());
-        }
-    }
-
-    void
-    applyCopy(const PendingCopy &copy)
-    {
-        TILUS_CHECK_MSG(copy.smem_addr >= 0 &&
-                            copy.smem_addr + copy.bytes <=
-                                static_cast<int64_t>(smem_.size()),
-                        "cp.async writes outside shared memory");
-        if (!copy.active || options_.mode == MemoryMode::kGhost ||
-            device_ == nullptr) {
-            std::memset(smem_.data() + copy.smem_addr, 0, copy.bytes);
-            return;
-        }
-        device_->read(static_cast<uint64_t>(copy.gmem_addr),
-                      smem_.data() + copy.smem_addr, copy.bytes);
+        queue_.drainTo(n, compute_ops_, smem_, device_, options_, stats_);
     }
 
     void execOp(const LOp &op);
@@ -238,17 +184,10 @@ class BlockExecutor
     const RunOptions &options_;
     bool first_block_;
 
-    struct Group
-    {
-        std::vector<PendingCopy> copies;
-        int64_t compute_mark; ///< compute ops executed at commit time
-    };
-
     std::vector<uint8_t> smem_;
     std::vector<std::vector<uint8_t>> storages_;
     std::vector<int64_t> storage_bytes_;
-    std::vector<Group> groups_;
-    std::vector<PendingCopy> current_group_;
+    detail::CpAsyncQueue queue_;
     int64_t compute_ops_ = 0;
     ir::Env block_env_;
     ir::Env thread_env_;
@@ -428,9 +367,8 @@ BlockExecutor::execOp(const LOp &op)
                         int64_t smem_addr = evalThread(o.smem_addr, thread);
                         int64_t gmem_addr =
                             active ? evalThread(o.gmem_addr, thread) : 0;
-                        current_group_.push_back(
-                            PendingCopy{smem_addr, gmem_addr, o.bytes,
-                                        active});
+                        queue_.push(PendingCopy{smem_addr, gmem_addr,
+                                                o.bytes, active});
                         if (active) {
                             accesses.emplace_back(gmem_addr, o.bytes);
                             stats_.cp_async_bytes += o.bytes;
@@ -445,11 +383,11 @@ BlockExecutor::execOp(const LOp &op)
                     int64_t active = 0;
                     // Approximate remaining warps by the sampled warp's
                     // active fraction.
-                    for (size_t i = current_group_.size() >= 32
-                                        ? current_group_.size() - 32
-                                        : 0;
-                         i < current_group_.size(); ++i)
-                        active += current_group_[i].active ? 1 : 0;
+                    const auto &group = queue_.current();
+                    for (size_t i =
+                             group.size() >= 32 ? group.size() - 32 : 0;
+                         i < group.size(); ++i)
+                        active += group[i].active ? 1 : 0;
                     int64_t f = (warps - exec_warps) * active;
                     stats_.cp_async_bytes += o.bytes * f;
                     stats_.global_load_bytes += o.bytes * f;
@@ -457,13 +395,7 @@ BlockExecutor::execOp(const LOp &op)
                         o.bytes * f;
                 }
             } else if constexpr (std::is_same_v<T, CpAsyncCommit>) {
-                groups_.push_back(Group{std::move(current_group_),
-                                        compute_ops_});
-                current_group_.clear();
-                stats_.cp_commits += 1;
-                stats_.max_groups_in_flight =
-                    std::max(stats_.max_groups_in_flight,
-                             static_cast<int>(groups_.size()));
+                queue_.commit(compute_ops_, stats_);
             } else if constexpr (std::is_same_v<T, CpAsyncWait>) {
                 drainTo(o.n);
             } else if constexpr (std::is_same_v<T, BarSync>) {
@@ -529,7 +461,7 @@ BlockExecutor::execOp(const LOp &op)
                             tb.dtype, readElement(tb, thread, bi));
                         writeElement(td, thread, i,
                                      encodeValue(td.dtype,
-                                                 applyBinary(o.op, a, b)));
+                                                 applyTensorBinary(o.op, a, b)));
                     }
                 }
                 stats_.alu_elt_ops += locals * threads;
@@ -559,7 +491,7 @@ BlockExecutor::execOp(const LOp &op)
                                                readElement(ta, thread, i));
                         writeElement(td, thread, i,
                                      encodeValue(td.dtype,
-                                                 applyBinary(o.op, a, s)));
+                                                 applyTensorBinary(o.op, a, s)));
                     }
                 }
                 stats_.alu_elt_ops += locals * threads;
@@ -701,34 +633,46 @@ void
 BlockExecutor::printTensor(int tensor_id)
 {
     const TensorDecl &t = kernel_.tensor(tensor_id);
-    const auto &shape = t.layout.shape();
-    std::cout << t.name << " = " << t.dtype.name() << "[";
-    for (size_t d = 0; d < shape.size(); ++d)
-        std::cout << (d ? ", " : "") << shape[d];
-    std::cout << "]\n";
-    // Gather through the layout (replica 0 holds the canonical copy).
-    std::vector<int64_t> idx(shape.size(), 0);
-    int64_t rows = shape.size() >= 2 ? shape[0] : 1;
-    int64_t cols = shape.size() >= 2 ? shape[1] : shape[0];
-    for (int64_t r = 0; r < rows; ++r) {
-        for (int64_t cidx = 0; cidx < cols; ++cidx) {
-            if (shape.size() >= 2) {
-                idx[0] = r;
-                idx[1] = cidx;
-            } else {
-                idx[0] = cidx;
-            }
-            auto [thread, slot] = t.layout.threadLocalOf(idx);
-            double v = decodeValue(t.dtype, readElement(t, static_cast<int>(
-                                                               thread),
-                                                        slot));
-            std::cout << (cidx ? " " : "") << v;
+    detail::printTensor(t, [&](int64_t thread, int64_t slot) {
+        return decodeValue(
+            t.dtype, readElement(t, static_cast<int>(thread), slot));
+    });
+}
+
+/**
+ * The engine used when RunOptions::engine is kAuto: the micro-op engine
+ * unless TILUS_SIM_ENGINE=treewalk overrides it (read once per process;
+ * used for A/B wall-clock comparisons of whole suites, see
+ * bench/bench_interp.cc).
+ */
+Engine
+defaultEngine()
+{
+    static const Engine engine = [] {
+        const char *env = std::getenv("TILUS_SIM_ENGINE");
+        if (env != nullptr) {
+            std::string value(env);
+            if (value == "treewalk")
+                return Engine::kTreeWalk;
+            if (value == "microop")
+                return Engine::kMicroOps;
+            TILUS_FATAL_IF(!value.empty() && value != "auto",
+                           "TILUS_SIM_ENGINE must be auto, treewalk, or "
+                           "microop (got '"
+                               << value << "')");
         }
-        std::cout << "\n";
-    }
+        return Engine::kAuto;
+    }();
+    return engine;
 }
 
 } // namespace
+
+Engine
+resolveEngine(Engine requested)
+{
+    return requested == Engine::kAuto ? defaultEngine() : requested;
+}
 
 SimStats
 run(const lir::Kernel &kernel, ir::Env args, Device *device,
@@ -756,6 +700,36 @@ run(const lir::Kernel &kernel, ir::Env args, Device *device,
                         : std::min(options.max_blocks, total_blocks);
 
     SimStats stats;
+
+    // Engine selection: pre-decoded micro-ops unless the caller (or the
+    // TILUS_SIM_ENGINE override) forces the tree walk. The decoded
+    // program is reused from the runtime cache when provided, decoded
+    // once per run() call otherwise.
+    Engine engine = resolveEngine(options.engine);
+    std::unique_ptr<MicroProgram> decoded_here;
+    const MicroProgram *program = nullptr;
+    if (engine != Engine::kTreeWalk) {
+        program = options.micro_program;
+        if (program != nullptr) {
+            TILUS_CHECK_MSG(program->kernel() == &kernel,
+                            "RunOptions::micro_program was decoded from a "
+                            "different kernel");
+        } else {
+            decoded_here = std::make_unique<MicroProgram>(
+                compileMicroProgram(kernel));
+            program = decoded_here.get();
+        }
+        if (!program->ok()) {
+            TILUS_FATAL_IF(engine == Engine::kMicroOps,
+                           "micro-op engine forced but kernel '"
+                               << kernel.name << "' is not decodable: "
+                               << program->fallbackReason());
+            stats.microop_fallbacks += 1;
+            stats.microop_fallback_reason = program->fallbackReason();
+            program = nullptr;
+        }
+    }
+
     for (int64_t linear = 0; linear < limit; ++linear) {
         std::vector<int64_t> bidx = unravel(linear, grid);
         ir::Env env = args;
@@ -764,19 +738,29 @@ run(const lir::Kernel &kernel, ir::Env args, Device *device,
             if (d < kernel.block_index_vars.size())
                 env.bind(kernel.block_index_vars[d].id(), bidx[d]);
         }
-        BlockExecutor block(kernel, device, stats, options, linear == 0);
-        block.run(env);
+        if (program != nullptr) {
+            runMicroBlock(*program, env, device, stats, options,
+                          linear == 0);
+        } else {
+            BlockExecutor block(kernel, device, stats, options,
+                                linear == 0);
+            block.run(env);
+        }
     }
+    if (program != nullptr)
+        stats.used_microops = true;
     return stats;
 }
 
 SimStats
-traceOneBlock(const lir::Kernel &kernel, const ir::Env &args)
+traceOneBlock(const lir::Kernel &kernel, const ir::Env &args,
+              const MicroProgram *program)
 {
     RunOptions options;
     options.mode = MemoryMode::kGhost;
     options.max_blocks = 1;
     options.enable_print = false;
+    options.micro_program = program;
     return run(kernel, args, nullptr, options);
 }
 

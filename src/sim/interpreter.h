@@ -26,12 +26,36 @@
 namespace tilus {
 namespace sim {
 
+class MicroProgram; // sim/microop.h
+
 /** How the interpreter touches memory. */
 enum class MemoryMode
 {
     kFunctional, ///< real loads/stores against a Device
     kGhost,      ///< addresses evaluated and counted, no data moved
 };
+
+/**
+ * Which execution engine runs the kernel. kAuto prefers the pre-decoded
+ * micro-op engine (sim/microop.h) and falls back to the tree-walk
+ * interpreter when the kernel is not decodable; the environment variable
+ * TILUS_SIM_ENGINE=treewalk|microop overrides kAuto (benchmarking and
+ * A/B timing of whole test suites).
+ */
+enum class Engine
+{
+    kAuto,
+    kMicroOps, ///< require the micro-op engine (panics if undecodable)
+    kTreeWalk, ///< force the legacy tree-walk interpreter
+};
+
+/**
+ * Resolve kAuto against the TILUS_SIM_ENGINE process override
+ * (treewalk|microop|auto). Callers that pay a decode cost up front
+ * (runtime::Runtime's program cache) use this to skip it when the
+ * process is pinned to the tree walk.
+ */
+Engine resolveEngine(Engine requested);
 
 /** Options for a kernel execution or trace. */
 struct RunOptions
@@ -41,6 +65,13 @@ struct RunOptions
     int64_t max_blocks = -1;
     /** Enable Print instructions (block 0 only). */
     bool enable_print = true;
+    /** Execution engine (see Engine). */
+    Engine engine = Engine::kAuto;
+    /**
+     * Pre-decoded program for `kernel` (runtime::Runtime's cache); when
+     * null the program is decoded on the fly, once per run() call.
+     */
+    const MicroProgram *micro_program = nullptr;
 };
 
 /**
@@ -58,9 +89,12 @@ SimStats run(const lir::Kernel &kernel, ir::Env args, Device *device,
 
 /**
  * Trace a single representative block in ghost mode and return its
- * per-block statistics (the timing model's input).
+ * per-block statistics (the timing model's input). Pass the kernel's
+ * cached pre-decoded @p program when one exists (runtime::Runtime);
+ * null decodes on the fly.
  */
-SimStats traceOneBlock(const lir::Kernel &kernel, const ir::Env &args);
+SimStats traceOneBlock(const lir::Kernel &kernel, const ir::Env &args,
+                       const MicroProgram *program = nullptr);
 
 } // namespace sim
 } // namespace tilus
