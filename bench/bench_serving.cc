@@ -62,6 +62,10 @@ runOne(llm::ServingEngine &engine, const SystemUnderTest &sut,
     serving::SimOptions options;
     options.limits = serving::limitsFrom(engine);
     serving::Simulator simulator(engine, scheduler, options);
+    // Tune every step-cost bucket up front (persistent autotune
+    // database: only the first-ever run pays the sweeps) so the event
+    // loop never stalls on a cold kernel tuning mid-trace.
+    simulator.warmUp();
     serving::ServingReport report = simulator.run(trace);
     report.system = sut.label;
     report.model = engine.model().name;

@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "cache/compile_pool.h"
 #include "sim/interpreter.h"
 #include "support/error.h"
 #include "support/math_util.h"
@@ -168,28 +169,140 @@ enumerateConfigs(DataType wdtype, int64_t n, int64_t k, int64_t m,
     return out;
 }
 
-TuneResult
-tune(runtime::Runtime &rt, DataType wdtype, int64_t n, int64_t k,
-     int64_t m, const compiler::CompileOptions &opts,
-     const sim::PerfTraits &traits, const TuneSpace &space)
+cache::Fingerprint
+tuneKey(const SweepRequest &req, const sim::GpuSpec &spec)
 {
-    std::vector<kernels::MatmulConfig> candidates =
-        enumerateConfigs(wdtype, n, k, m, space);
-    TILUS_FATAL_IF(candidates.empty(),
-                   "no valid configuration for " << wdtype.name() << " n="
-                                                 << n << " k=" << k
-                                                 << " m=" << m);
+    cache::Hasher h;
+    h.u32(cache::kTuneDbVersion);
+    // Recorded latencies price compiled kernels: a compiler behavior
+    // change invalidates every stored winner.
+    h.u32(compiler::kCompilerRevision);
+    // Problem.
+    cache::hashDataType(h, req.wdtype);
+    h.i64(req.n);
+    h.i64(req.k);
+    h.i64(req.m);
+    h.i64(req.group_size);
+    h.u8(req.convert_via_smem);
+    // Compilation options (opt_level included: O0/O2 twins never alias).
+    cache::hashOptions(h, req.opts);
+    // Structural generator traits.
+    h.f64(req.traits.occupancy_factor);
+    h.f64(req.traits.per_iter_serial_us);
+    // The full tuning space.
+    cache::hashIntVector(h, req.space.bm_tc);
+    cache::hashIntVector(h, req.space.bn);
+    cache::hashIntVector(h, req.space.bk);
+    cache::hashInt32Vector(h, req.space.warps_m);
+    cache::hashInt32Vector(h, req.space.warps_n);
+    cache::hashInt32Vector(h, req.space.simt_warps);
+    cache::hashInt32Vector(h, req.space.stages);
+    // The GPU the latency model priced.
+    h.str(spec.name);
+    h.i64(spec.sm_arch);
+    h.i64(spec.num_sms);
+    h.i64(spec.dram_bytes);
+    h.f64(spec.dram_gbps);
+    h.f64(spec.l2_gbps);
+    h.f64(spec.fp16_tc_tflops);
+    h.f64(spec.fp32_tflops);
+    h.f64(spec.alu_topsps);
+    h.f64(spec.smem_gbps);
+    h.i64(spec.smem_per_sm);
+    h.i64(spec.max_smem_per_block);
+    h.i64(spec.max_threads_per_sm);
+    h.i64(spec.max_blocks_per_sm);
+    h.f64(spec.clock_ghz);
+    h.f64(spec.launch_overhead_us);
+    h.f64(spec.dram_latency_us);
+    h.u8(spec.supports_cp_async);
+    return h.digest();
+}
+
+TuneResult
+sweepCached(runtime::Runtime &rt, const SweepRequest &req,
+            cache::TuneDb *db)
+{
+    if (!db)
+        db = &cache::TuneDb::instance();
+    const cache::Fingerprint key = tuneKey(req, rt.spec());
+    if (std::optional<cache::TuneRecord> record = db->load(key)) {
+        TuneResult hit;
+        hit.config = record->config;
+        hit.latency = record->latency;
+        hit.candidates_tried = record->candidates_tried;
+        return hit;
+    }
+
+    std::vector<kernels::MatmulConfig> candidates;
+    for (kernels::MatmulConfig cfg :
+         enumerateConfigs(req.wdtype, req.n, req.k, req.m, req.space)) {
+        cfg.group_size = req.group_size;
+        cfg.convert_via_smem = req.convert_via_smem;
+        if (cfg.valid())
+            candidates.push_back(cfg);
+    }
+
     TuneResult best;
     best.latency.total_us = std::numeric_limits<double>::infinity();
     best.candidates_tried = static_cast<int>(candidates.size());
+    if (candidates.empty())
+        return best;
+
+    // Compile-ahead: every kernel the estimation loop will request (two
+    // probe depths plus the full-depth instance per candidate), fanned
+    // out over the compile pool. The serial loop below then runs
+    // entirely against the runtime's in-memory tier.
+    cache::parallelFor(
+        static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+            const kernels::MatmulConfig &cfg = candidates[i];
+            for (int outers = 1; outers <= 2; ++outers) {
+                kernels::MatmulConfig p = cfg;
+                p.k = cfg.bk * cfg.stages * outers;
+                if (p.group_size > 0)
+                    p.group_size = p.bk;
+                rt.getOrCompile(kernels::buildMatmul(p).main_program,
+                                req.opts);
+            }
+            rt.getOrCompile(kernels::buildMatmul(cfg).main_program,
+                            req.opts);
+        });
+
     for (const kernels::MatmulConfig &cfg : candidates) {
-        sim::LatencyBreakdown est = estimateConfig(rt, cfg, m, opts,
-                                                   traits);
+        sim::LatencyBreakdown est =
+            estimateConfig(rt, cfg, req.m, req.opts, req.traits);
         if (est.total_us < best.latency.total_us) {
             best.latency = est;
             best.config = cfg;
         }
     }
+
+    cache::TuneRecord record;
+    record.config = best.config;
+    record.latency = best.latency;
+    record.candidates_tried = best.candidates_tried;
+    db->store(key, record);
+    return best;
+}
+
+TuneResult
+tune(runtime::Runtime &rt, DataType wdtype, int64_t n, int64_t k,
+     int64_t m, const compiler::CompileOptions &opts,
+     const sim::PerfTraits &traits, const TuneSpace &space)
+{
+    SweepRequest req;
+    req.wdtype = wdtype;
+    req.n = n;
+    req.k = k;
+    req.m = m;
+    req.opts = opts;
+    req.traits = traits;
+    req.space = space;
+    TuneResult best = sweepCached(rt, req);
+    TILUS_FATAL_IF(best.candidates_tried == 0,
+                   "no valid configuration for " << wdtype.name() << " n="
+                                                 << n << " k=" << k
+                                                 << " m=" << m);
     return best;
 }
 

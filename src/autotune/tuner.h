@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "cache/tune_db.h"
 #include "kernels/matmul.h"
 #include "runtime/runtime.h"
 #include "sim/timing.h"
@@ -56,9 +57,58 @@ enumerateConfigs(DataType wdtype, int64_t n, int64_t k, int64_t m,
                  const TuneSpace &space = {});
 
 /**
+ * The full input of one tuning sweep. Everything here (plus the GpuSpec
+ * of the runtime the sweep runs on) feeds the persistent tune-database
+ * key — two sweeps that could rank candidates differently never share a
+ * record, so O0/O2 twins and per-system TuneSpace cuts stay distinct.
+ */
+struct SweepRequest
+{
+    DataType wdtype = tilus::uint4();
+    int64_t n = 0;
+    int64_t k = 0;
+    int64_t m = 0;
+
+    /** Applied to every enumerated candidate (0 = no scales). */
+    int64_t group_size = 0;
+
+    /** Structural Triton variant (Figure 1(a) smem round trip). */
+    bool convert_via_smem = false;
+
+    compiler::CompileOptions opts;
+    sim::PerfTraits traits;
+    TuneSpace space;
+};
+
+/** The persistent tune-database key of @p req on @p spec (covers the
+    problem, the full TuneSpace, the GpuSpec, the complete
+    CompileOptions, the PerfTraits, and cache::kTuneDbVersion). */
+cache::Fingerprint tuneKey(const SweepRequest &req,
+                           const sim::GpuSpec &spec);
+
+/**
+ * Run one tuning sweep through the persistent autotune database.
+ *
+ * On a database hit the stored winner is returned immediately —
+ * enumeration, compilation, and probe tracing are all skipped. On a
+ * miss the sweep enumerates candidates, compiles them ahead of time on
+ * the compile pool (cache/compile_pool.h) so the serial estimation loop
+ * only ever hits the runtime's in-memory tier, then records the winner.
+ * When no candidate is valid, the result has candidates_tried == 0 and
+ * infinite latency (callers decide whether that is fatal).
+ *
+ * @p db nullptr selects cache::TuneDb::instance(); tests pass their own
+ * temp-dir database.
+ */
+TuneResult sweepCached(runtime::Runtime &rt, const SweepRequest &req,
+                       cache::TuneDb *db = nullptr);
+
+/**
  * Pick the best configuration for matmul(m x k, k x n) with the given
  * weight type. Results are deterministic; compiled kernels and tuning
- * outcomes are cached inside the Runtime across calls.
+ * outcomes are cached inside the Runtime across calls, and whole-sweep
+ * outcomes persist across processes via the autotune database
+ * (a thin wrapper over sweepCached).
  */
 TuneResult tune(runtime::Runtime &rt, DataType wdtype, int64_t n,
                 int64_t k, int64_t m,

@@ -1,7 +1,6 @@
 #include "baselines/baselines.h"
 
 #include <cmath>
-#include <limits>
 
 #include "support/error.h"
 #include "support/math_util.h"
@@ -157,34 +156,27 @@ evaluateMatmul(System system, runtime::Runtime &rt, DataType wdtype,
     if (system == System::kLadder)
         opts.forbid_cp_async = true; // no software pipelining (Fig. 1(b))
 
-    autotune::TuneSpace space = systemSpace(system);
-    sim::PerfTraits traits = systemTraits(system);
-
+    // Sweep within the system's space, with its structural variant; the
+    // whole outcome persists in the autotune database, so a repeated
+    // llm::Engine / bench sweep skips enumeration + compilation.
+    autotune::SweepRequest req;
+    req.wdtype = wdtype;
+    req.n = n;
+    req.k = k;
+    req.m = m;
     // Dense f16 runs skip scales; quantized systems use grouped scales.
-    int64_t group = (wdtype.bits() == 16) ? 0 : group_size;
-
-    // Enumerate within the system's space, with its structural variant.
-    std::vector<kernels::MatmulConfig> candidates =
-        autotune::enumerateConfigs(wdtype, n, k, m, space);
-    double best = std::numeric_limits<double>::infinity();
-    for (kernels::MatmulConfig cfg : candidates) {
-        cfg.group_size = group;
-        if (system == System::kTriton)
-            cfg.convert_via_smem = true; // Figure 1(a) step 4
-        if (!cfg.valid())
-            continue;
-        sim::LatencyBreakdown est =
-            autotune::estimateConfig(rt, cfg, m, opts, traits);
-        if (est.total_us < best) {
-            best = est.total_us;
-            result.config = cfg;
-            result.latency_us = est.total_us;
-        }
-    }
-    if (!std::isfinite(best)) {
+    req.group_size = (wdtype.bits() == 16) ? 0 : group_size;
+    req.convert_via_smem = (system == System::kTriton); // Fig. 1(a) step 4
+    req.opts = opts;
+    req.traits = systemTraits(system);
+    req.space = systemSpace(system);
+    autotune::TuneResult tuned = autotune::sweepCached(rt, req);
+    if (!std::isfinite(tuned.latency.total_us)) {
         result.reason = "no valid configuration";
         return result;
     }
+    result.config = tuned.config;
+    result.latency_us = tuned.latency.total_us;
     result.supported = true;
     return result;
 }

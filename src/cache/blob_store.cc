@@ -1,0 +1,119 @@
+#include "cache/blob_store.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "cache/codec.h"
+#include "cache/fingerprint.h"
+
+namespace tilus {
+namespace cache {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 24; // magic, version, size, hash
+
+} // namespace
+
+bool
+cacheDisabledByEnv()
+{
+    const char *env = std::getenv("TILUS_CACHE");
+    if (!env)
+        return false;
+    std::string v(env);
+    return v == "off" || v == "0" || v == "false" || v == "OFF";
+}
+
+std::string
+defaultCacheDir()
+{
+    if (const char *env = std::getenv("TILUS_CACHE_DIR"))
+        return env;
+    if (const char *home = std::getenv("HOME"))
+        return std::string(home) + "/.cache/tilus";
+    return "/tmp/tilus-cache";
+}
+
+uint64_t
+payloadHash(const std::string &payload)
+{
+    Hasher h;
+    h.bytes(payload.data(), payload.size());
+    return h.digest().lo;
+}
+
+BlobRead
+readBlobFile(const std::string &path, uint32_t magic, uint32_t version,
+             std::string *payload, std::string *why)
+{
+    std::string blob;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return BlobRead::kMissing;
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        blob = oss.str();
+    }
+    auto corrupt = [&](const char *reason) {
+        if (why)
+            *why = reason;
+        return BlobRead::kCorrupt;
+    };
+    ByteReader header(blob);
+    if (blob.size() < kHeaderBytes)
+        return corrupt("truncated header");
+    if (header.u32() != magic)
+        return corrupt("bad magic");
+    if (header.u32() != version)
+        return corrupt("format version mismatch");
+    if (header.u64() != blob.size() - kHeaderBytes)
+        return corrupt("truncated payload");
+    std::string body = blob.substr(kHeaderBytes);
+    if (payloadHash(body) != header.u64())
+        return corrupt("payload hash mismatch");
+    *payload = std::move(body);
+    return BlobRead::kHit;
+}
+
+bool
+writeBlobAtomic(const std::string &path, uint32_t magic,
+                uint32_t version, const std::string &payload)
+{
+    std::string blob;
+    blob.reserve(kHeaderBytes + payload.size());
+    putU32(blob, magic);
+    putU32(blob, version);
+    putU64(blob, payload.size());
+    putU64(blob, payloadHash(payload));
+    blob += payload;
+
+    std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+        if (!out) {
+            out.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace cache
+} // namespace tilus

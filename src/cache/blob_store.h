@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared plumbing of the on-disk stores (kernel_cache.cc, tune_db.cc):
+ * environment configuration, the {magic, version, payload size, payload
+ * hash} blob header, verify-before-trust reads, and atomic
+ * temp-file-plus-rename writes. Both tiers must interpret TILUS_CACHE /
+ * TILUS_CACHE_DIR identically and reject damage the same way — that
+ * contract lives here exactly once.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tilus {
+namespace cache {
+
+/** True when TILUS_CACHE requests the disk tiers off (off/0/false). */
+bool cacheDisabledByEnv();
+
+/** TILUS_CACHE_DIR, or ~/.cache/tilus, or /tmp/tilus-cache. */
+std::string defaultCacheDir();
+
+/** Content hash guarding blob payloads against corruption. */
+uint64_t payloadHash(const std::string &payload);
+
+/** Outcome of readBlobFile. */
+enum class BlobRead
+{
+    kHit,     ///< payload verified and returned
+    kMissing, ///< no file — a plain miss
+    kCorrupt, ///< file exists but failed verification (see *why)
+};
+
+/**
+ * Read @p path and verify magic, version, payload size, and payload
+ * hash; on kHit fill @p payload. Never throws: truncation, bit flips,
+ * and hostile bytes come back as kCorrupt with a reason in @p why.
+ */
+BlobRead readBlobFile(const std::string &path, uint32_t magic,
+                      uint32_t version, std::string *payload,
+                      std::string *why);
+
+/**
+ * Write header + payload to a pid-suffixed temp file and rename it
+ * into place: readers never observe partial blobs, and racing writers
+ * of one content-addressed path write identical bytes, so
+ * last-rename-wins is harmless. Returns false on any I/O failure
+ * (best-effort callers just skip the store).
+ */
+bool writeBlobAtomic(const std::string &path, uint32_t magic,
+                     uint32_t version, const std::string &payload);
+
+} // namespace cache
+} // namespace tilus

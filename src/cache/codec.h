@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The one little-endian byte codec of src/cache/. Every on-disk
+ * encoding in the subsystem — kernel payloads (serialize.cc), tune
+ * records (tune_db.cc), and blob headers (blob_store.cc) — goes through
+ * these primitives, so byte order and bounds semantics cannot diverge
+ * between the tiers.
+ *
+ * Two reader styles exist on purpose: ByteReader flags overruns via
+ * ok() and returns zeros (for fixed-shape records where the caller
+ * checks once at the end), while serialize.cc's payload Reader throws
+ * CacheFormatError mid-stream (variable-shape payloads where a bad tag
+ * must stop the parse immediately). Both consume these exact encodings.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace tilus {
+namespace cache {
+
+/// @name Little-endian appenders.
+/// @{
+inline void
+putU8(std::string &out, uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+inline void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        putU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+inline void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        putU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+inline void
+putI64(std::string &out, int64_t v)
+{
+    putU64(out, static_cast<uint64_t>(v));
+}
+
+inline void
+putF64(std::string &out, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    putU64(out, bits);
+}
+/// @}
+
+/**
+ * Sequential little-endian reader for fixed-shape records: overruns
+ * clear ok() and return zeros instead of throwing, so a caller decodes
+ * the whole record and checks `atEnd()` once.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::string &data) : data_(data) {}
+
+    bool ok() const { return ok_; }
+
+    uint8_t
+    u8()
+    {
+        if (pos_ + 1 > data_.size()) {
+            ok_ = false;
+            return 0;
+        }
+        return static_cast<uint8_t>(data_[pos_++]);
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    int64_t i64() { return static_cast<int64_t>(u64()); }
+
+    double
+    f64()
+    {
+        uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, 8);
+        return v;
+    }
+
+    bool atEnd() const { return ok_ && pos_ == data_.size(); }
+
+  private:
+    const std::string &data_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace cache
+} // namespace tilus

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The compile-ahead executor used by cold autotune sweeps.
+ *
+ * A cold tuning pass compiles a few hundred candidate kernels; the
+ * compilations are independent, so the tuner fans them out over a small
+ * thread pool before its (serial) estimation loop — every later
+ * getOrCompile then hits the runtime's in-memory tier. The compile path
+ * is thread-safe by construction: IR nodes are immutable shared trees,
+ * the process-global id counters are atomic, and runtime::Runtime
+ * serializes its cache map behind a mutex.
+ *
+ * TILUS_COMPILE_THREADS pins the worker count (1 runs inline — the
+ * escape hatch when debugging); the default is min(hardware threads, 8).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace tilus {
+namespace cache {
+
+/** Worker count for compile-ahead: TILUS_COMPILE_THREADS or
+    min(hardware_concurrency, 8), never less than 1. */
+int compileThreads();
+
+/**
+ * Run fn(0..n-1) across worker threads ( @p threads <= 0 means
+ * compileThreads() ). Blocks until every index completed. The first
+ * exception thrown by any invocation is rethrown here after all workers
+ * join; remaining indices may be skipped once an exception is recorded.
+ */
+void parallelFor(int64_t n, const std::function<void(int64_t)> &fn,
+                 int threads = 0);
+
+} // namespace cache
+} // namespace tilus

@@ -1,0 +1,398 @@
+#include "cache/fingerprint.h"
+
+#include <unordered_map>
+
+#include "ir/instruction.h"
+#include "ir/stmt.h"
+#include "support/error.h"
+
+namespace tilus {
+namespace cache {
+
+std::string
+Fingerprint::hex() const
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i) {
+        uint64_t word = i < 8 ? hi : lo;
+        int shift = 60 - 8 * (i % 8);
+        out[2 * i] = digits[(word >> shift) & 0xf];
+        out[2 * i + 1] = digits[(word >> (shift - 4)) & 0xf];
+    }
+    return out;
+}
+
+void
+hashDataType(Hasher &h, const DataType &dtype)
+{
+    h.u8(static_cast<uint8_t>(dtype.kind()));
+    h.u8(static_cast<uint8_t>(dtype.bits()));
+    h.u8(static_cast<uint8_t>(dtype.exponentBits()));
+    h.u8(static_cast<uint8_t>(dtype.mantissaBits()));
+}
+
+void
+hashIntVector(Hasher &h, const std::vector<int64_t> &v)
+{
+    h.u64(v.size());
+    for (int64_t x : v)
+        h.i64(x);
+}
+
+void
+hashInt32Vector(Hasher &h, const std::vector<int> &v)
+{
+    h.u64(v.size());
+    for (int x : v)
+        h.i64(x);
+}
+
+void
+hashLayout(Hasher &h, const Layout &layout)
+{
+    hashIntVector(h, layout.shape());
+    hashIntVector(h, layout.modeShape());
+    hashInt32Vector(h, layout.modeDim());
+    hashInt32Vector(h, layout.spatialModes());
+    hashInt32Vector(h, layout.localModes());
+    h.str(layout.label());
+}
+
+void
+hashOptions(Hasher &h, const compiler::CompileOptions &options)
+{
+    h.i64(options.sm_arch);
+    h.u8(static_cast<uint8_t>(options.opt_level));
+    h.u8(options.enable_vectorize);
+    h.u8(options.enable_ldmatrix);
+    h.u8(options.force_scalar_cast);
+    h.u8(options.forbid_cp_async);
+}
+
+namespace {
+
+/**
+ * One fingerprinting pass: renumbers variable and tensor ids in
+ * first-visit order so the hash is independent of the process-global
+ * id counters.
+ */
+class ProgramHasher
+{
+  public:
+    explicit ProgramHasher(Hasher &h) : h_(h) {}
+
+    void
+    program(const ir::Program &p)
+    {
+        h_.str(p.name);
+        h_.i64(p.num_warps);
+        h_.u64(p.grid.size());
+        for (const ir::Expr &e : p.grid)
+            expr(e);
+        h_.u64(p.params.size());
+        for (const ir::Var &v : p.params)
+            var(v.id(), v.name(), v.dtype());
+        stmt(p.body);
+    }
+
+  private:
+    void
+    var(int id, const std::string &name, const DataType &dtype)
+    {
+        auto [it, inserted] =
+            var_ids_.emplace(id, static_cast<int>(var_ids_.size()));
+        h_.i64(it->second);
+        if (inserted) { // content hashed once, at definition order
+            h_.str(name);
+            hashDataType(h_, dtype);
+        }
+    }
+
+    int
+    canonicalTensor(int id)
+    {
+        auto it = tensor_ids_.emplace(id,
+                                      static_cast<int>(tensor_ids_.size()));
+        return it.first->second;
+    }
+
+    void
+    expr(const ir::Expr &e)
+    {
+        if (!e) {
+            h_.u8(0xff);
+            return;
+        }
+        h_.u8(static_cast<uint8_t>(e->kind()));
+        switch (e->kind()) {
+          case ir::ExprKind::kConst: {
+            const auto &c = static_cast<const ir::ConstNode &>(*e);
+            hashDataType(h_, c.dtype());
+            h_.i64(c.ivalue);
+            h_.f64(c.fvalue);
+            break;
+          }
+          case ir::ExprKind::kVar: {
+            const auto &v = static_cast<const ir::VarNode &>(*e);
+            var(v.id, v.name, v.dtype());
+            break;
+          }
+          case ir::ExprKind::kUnary: {
+            const auto &u = static_cast<const ir::UnaryNode &>(*e);
+            h_.u8(static_cast<uint8_t>(u.op));
+            expr(u.a);
+            break;
+          }
+          case ir::ExprKind::kBinary: {
+            const auto &b = static_cast<const ir::BinaryNode &>(*e);
+            h_.u8(static_cast<uint8_t>(b.op));
+            hashDataType(h_, b.dtype());
+            expr(b.a);
+            expr(b.b);
+            break;
+          }
+          case ir::ExprKind::kSelect: {
+            const auto &s = static_cast<const ir::SelectNode &>(*e);
+            expr(s.cond);
+            expr(s.on_true);
+            expr(s.on_false);
+            break;
+          }
+        }
+    }
+
+    void
+    exprs(const std::vector<ir::Expr> &es)
+    {
+        h_.u64(es.size());
+        for (const ir::Expr &e : es)
+            expr(e);
+    }
+
+    void
+    regTensor(const ir::RegTensor &t)
+    {
+        h_.i64(canonicalTensor(t->id));
+        h_.str(t->name);
+        hashDataType(h_, t->dtype);
+        hashLayout(h_, t->layout);
+    }
+
+    void
+    sharedTensor(const ir::SharedTensor &t)
+    {
+        h_.i64(canonicalTensor(t->id));
+        h_.str(t->name);
+        hashDataType(h_, t->dtype);
+        hashIntVector(h_, t->shape);
+    }
+
+    void
+    globalTensor(const ir::GlobalTensor &t)
+    {
+        h_.i64(canonicalTensor(t->id));
+        h_.str(t->name);
+        hashDataType(h_, t->dtype);
+        exprs(t->shape);
+        expr(t->ptr);
+        h_.u8(t->workspace);
+    }
+
+    void
+    inst(const ir::Inst &i)
+    {
+        h_.u8(static_cast<uint8_t>(i->kind()));
+        switch (i->kind()) {
+          case ir::InstKind::kBlockIndices: {
+            const auto &bi = static_cast<const ir::BlockIndicesInst &>(*i);
+            h_.u64(bi.outs.size());
+            for (const ir::Var &v : bi.outs)
+                var(v.id(), v.name(), v.dtype());
+            break;
+          }
+          case ir::InstKind::kViewGlobal:
+            globalTensor(static_cast<const ir::ViewGlobalInst &>(*i).out);
+            break;
+          case ir::InstKind::kAllocateGlobal:
+            globalTensor(
+                static_cast<const ir::AllocateGlobalInst &>(*i).out);
+            break;
+          case ir::InstKind::kAllocateShared:
+            sharedTensor(
+                static_cast<const ir::AllocateSharedInst &>(*i).out);
+            break;
+          case ir::InstKind::kAllocateRegister: {
+            const auto &a =
+                static_cast<const ir::AllocateRegisterInst &>(*i);
+            regTensor(a.out);
+            h_.u8(a.init.has_value());
+            if (a.init)
+                h_.f64(*a.init);
+            break;
+          }
+          case ir::InstKind::kLoadGlobal: {
+            const auto &l = static_cast<const ir::LoadGlobalInst &>(*i);
+            globalTensor(l.src);
+            exprs(l.offset);
+            regTensor(l.out);
+            break;
+          }
+          case ir::InstKind::kLoadShared: {
+            const auto &l = static_cast<const ir::LoadSharedInst &>(*i);
+            sharedTensor(l.src);
+            exprs(l.offset);
+            regTensor(l.out);
+            break;
+          }
+          case ir::InstKind::kStoreGlobal: {
+            const auto &s = static_cast<const ir::StoreGlobalInst &>(*i);
+            regTensor(s.src);
+            globalTensor(s.dst);
+            exprs(s.offset);
+            break;
+          }
+          case ir::InstKind::kStoreShared: {
+            const auto &s = static_cast<const ir::StoreSharedInst &>(*i);
+            regTensor(s.src);
+            sharedTensor(s.dst);
+            exprs(s.offset);
+            break;
+          }
+          case ir::InstKind::kCopyAsync: {
+            const auto &c = static_cast<const ir::CopyAsyncInst &>(*i);
+            sharedTensor(c.dst);
+            globalTensor(c.src);
+            exprs(c.offset);
+            break;
+          }
+          case ir::InstKind::kCopyAsyncCommitGroup:
+            break;
+          case ir::InstKind::kCopyAsyncWaitGroup:
+            h_.i64(
+                static_cast<const ir::CopyAsyncWaitGroupInst &>(*i).n);
+            break;
+          case ir::InstKind::kCast: {
+            const auto &c = static_cast<const ir::CastInst &>(*i);
+            regTensor(c.src);
+            regTensor(c.out);
+            break;
+          }
+          case ir::InstKind::kView: {
+            const auto &v = static_cast<const ir::ViewInst &>(*i);
+            regTensor(v.src);
+            regTensor(v.out);
+            break;
+          }
+          case ir::InstKind::kBinary: {
+            const auto &b = static_cast<const ir::BinaryInst &>(*i);
+            h_.u8(static_cast<uint8_t>(b.op));
+            regTensor(b.a);
+            regTensor(b.b);
+            regTensor(b.out);
+            break;
+          }
+          case ir::InstKind::kBinaryScalar: {
+            const auto &b = static_cast<const ir::BinaryScalarInst &>(*i);
+            h_.u8(static_cast<uint8_t>(b.op));
+            regTensor(b.a);
+            expr(b.scalar);
+            regTensor(b.out);
+            break;
+          }
+          case ir::InstKind::kUnary: {
+            const auto &u = static_cast<const ir::UnaryInst &>(*i);
+            h_.u8(static_cast<uint8_t>(u.op));
+            regTensor(u.a);
+            regTensor(u.out);
+            break;
+          }
+          case ir::InstKind::kDot: {
+            const auto &d = static_cast<const ir::DotInst &>(*i);
+            regTensor(d.a);
+            regTensor(d.b);
+            regTensor(d.c);
+            regTensor(d.out);
+            break;
+          }
+          case ir::InstKind::kSynchronize:
+          case ir::InstKind::kExit:
+            break;
+          case ir::InstKind::kPrint:
+            regTensor(static_cast<const ir::PrintInst &>(*i).tensor);
+            break;
+        }
+    }
+
+    void
+    stmt(const ir::Stmt &s)
+    {
+        if (!s) {
+            h_.u8(0xff);
+            return;
+        }
+        h_.u8(static_cast<uint8_t>(s->kind()));
+        switch (s->kind()) {
+          case ir::StmtKind::kSeq: {
+            const auto &seq = static_cast<const ir::SeqStmt &>(*s);
+            h_.u64(seq.stmts.size());
+            for (const ir::Stmt &sub : seq.stmts)
+                stmt(sub);
+            break;
+          }
+          case ir::StmtKind::kIf: {
+            const auto &br = static_cast<const ir::IfStmt &>(*s);
+            expr(br.cond);
+            stmt(br.then_body);
+            stmt(br.else_body);
+            break;
+          }
+          case ir::StmtKind::kFor: {
+            const auto &loop = static_cast<const ir::ForStmt &>(*s);
+            var(loop.var.id(), loop.var.name(), loop.var.dtype());
+            expr(loop.extent);
+            stmt(loop.body);
+            break;
+          }
+          case ir::StmtKind::kWhile: {
+            const auto &loop = static_cast<const ir::WhileStmt &>(*s);
+            expr(loop.cond);
+            stmt(loop.body);
+            break;
+          }
+          case ir::StmtKind::kBreak:
+          case ir::StmtKind::kContinue:
+            break;
+          case ir::StmtKind::kAssign: {
+            const auto &a = static_cast<const ir::AssignStmt &>(*s);
+            var(a.var.id(), a.var.name(), a.var.dtype());
+            expr(a.value);
+            break;
+          }
+          case ir::StmtKind::kInst:
+            inst(static_cast<const ir::InstStmt &>(*s).inst);
+            break;
+        }
+    }
+
+    Hasher &h_;
+    std::unordered_map<int, int> var_ids_;
+    std::unordered_map<int, int> tensor_ids_;
+};
+
+} // namespace
+
+Fingerprint
+fingerprintProgram(const ir::Program &program,
+                   const compiler::CompileOptions &options)
+{
+    Hasher h;
+    h.u32(kCacheFormatVersion);
+    h.u32(compiler::kCompilerRevision); // stale-compiler artifacts miss
+    hashOptions(h, options);
+    ProgramHasher(h).program(program);
+    return h.digest();
+}
+
+} // namespace cache
+} // namespace tilus

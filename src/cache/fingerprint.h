@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Content-addressed fingerprints for the kernel cache (src/cache/).
+ *
+ * A Fingerprint is a 128-bit structural hash over a canonical encoding
+ * of its inputs — not over printed strings. Canonical means invariant
+ * across processes: the process-global ids of variables and tensors are
+ * renumbered in first-visit order before hashing, so two builds of the
+ * same kernel template configuration produce the same fingerprint even
+ * though every ir::Var::make call hands out fresh ids. This is what
+ * makes the on-disk tier of the KernelCache and the persistent autotune
+ * database (tune_db.h) work at all.
+ *
+ * fingerprintProgram covers the complete compilation input: the
+ * ir::Program (name, grid, parameters, every statement / instruction /
+ * expression / tensor descriptor / layout), the full CompileOptions,
+ * the cache format version, and compiler::kCompilerRevision (the
+ * compiler itself is an input — bump it with behavior changes) — any
+ * input that can change the compiled lir::Kernel must feed the hash,
+ * otherwise the cache would serve stale artifacts (see README.md,
+ * "fingerprint contract").
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compiler/options.h"
+#include "ir/program.h"
+#include "layout/layout.h"
+
+namespace tilus {
+namespace cache {
+
+/**
+ * Bump whenever the serialized kernel format (serialize.cc) or the
+ * meaning of the fingerprint encoding changes: every previously cached
+ * artifact then misses and is recompiled, never misread.
+ */
+constexpr uint32_t kCacheFormatVersion = 1;
+
+/** A 128-bit content hash, printable as 32 hex digits. */
+struct Fingerprint
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    bool
+    operator==(const Fingerprint &other) const
+    {
+        return lo == other.lo && hi == other.hi;
+    }
+    bool operator!=(const Fingerprint &other) const
+    {
+        return !(*this == other);
+    }
+    bool
+    operator<(const Fingerprint &other) const
+    {
+        return hi != other.hi ? hi < other.hi : lo < other.lo;
+    }
+
+    /** 32 lowercase hex digits (hi then lo) — used as the file name. */
+    std::string hex() const;
+};
+
+/**
+ * Incremental two-lane hasher (FNV-1a plus an independent
+ * multiply-rotate lane, finalized with an avalanche mix). Collisions
+ * would silently alias cache entries, hence 128 bits instead of 64.
+ */
+class Hasher
+{
+  public:
+    void
+    bytes(const void *data, size_t size)
+    {
+        const uint8_t *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < size; ++i) {
+            a_ = (a_ ^ p[i]) * 0x100000001b3ull; // FNV-1a
+            b_ ^= (p[i] + 0x9e3779b97f4a7c15ull + (b_ << 6) + (b_ >> 2));
+            b_ = rotl(b_, 23) * 0xc4ceb9fe1a85ec53ull;
+        }
+    }
+
+    void u8(uint8_t v) { bytes(&v, 1); }
+    void u32(uint32_t v) { bytes(&v, 4); }
+    void u64(uint64_t v) { bytes(&v, 8); }
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size()); // length prefix: "ab","c" != "a","bc"
+        bytes(s.data(), s.size());
+    }
+
+    Fingerprint
+    digest() const
+    {
+        return Fingerprint{mix(a_ ^ rotl(b_, 32)), mix(b_ ^ rotl(a_, 17))};
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t v, int s)
+    {
+        return (v << s) | (v >> (64 - s));
+    }
+
+    static uint64_t
+    mix(uint64_t v)
+    {
+        v ^= v >> 33;
+        v *= 0xff51afd7ed558ccdull;
+        v ^= v >> 33;
+        v *= 0xc4ceb9fe1a85ec53ull;
+        v ^= v >> 33;
+        return v;
+    }
+
+    uint64_t a_ = 0xcbf29ce484222325ull;
+    uint64_t b_ = 0x2545f4914f6cdd1dull;
+};
+
+/// @name Canonical encoders for the shared value types. Every key in
+/// the subsystem (kernel fingerprints, autotune::tuneKey) must build on
+/// these so the encodings cannot diverge between callers.
+/// @{
+void hashDataType(Hasher &h, const DataType &dtype);
+void hashLayout(Hasher &h, const Layout &layout);
+void hashOptions(Hasher &h, const compiler::CompileOptions &options);
+void hashIntVector(Hasher &h, const std::vector<int64_t> &v);
+void hashInt32Vector(Hasher &h, const std::vector<int> &v);
+/// @}
+
+/**
+ * The cache key of one compilation: program content + full
+ * CompileOptions + kCacheFormatVersion + compiler::kCompilerRevision,
+ * with variable and tensor ids canonicalized (see file header).
+ * Deterministic across processes.
+ */
+Fingerprint fingerprintProgram(const ir::Program &program,
+                               const compiler::CompileOptions &options);
+
+} // namespace cache
+} // namespace tilus

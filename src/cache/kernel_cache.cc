@@ -1,0 +1,101 @@
+#include "cache/kernel_cache.h"
+
+#include <filesystem>
+
+#include "cache/blob_store.h"
+#include "cache/serialize.h"
+#include "support/logging.h"
+
+namespace tilus {
+namespace cache {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x544c4b43; // "TLKC"
+
+} // namespace
+
+KernelCache &
+KernelCache::instance()
+{
+    static KernelCache cache(defaultCacheDir(), !cacheDisabledByEnv());
+    return cache;
+}
+
+KernelCache::KernelCache(std::string dir, bool enabled)
+    : dir_(std::move(dir)), enabled_(enabled)
+{
+    if (!enabled_)
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_ + "/kernels", ec);
+    if (ec) {
+        warn("kernel cache disabled: cannot create " + dir_ + ": " +
+             ec.message());
+        enabled_ = false;
+    }
+}
+
+std::string
+KernelCache::entryPath(const Fingerprint &fp) const
+{
+    return dir_ + "/kernels/" + fp.hex() + ".lirk";
+}
+
+std::unique_ptr<lir::Kernel>
+KernelCache::load(const Fingerprint &fp, uint32_t version)
+{
+    auto miss = [this] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.disk_misses;
+        return nullptr;
+    };
+    if (!enabled_)
+        return miss();
+    std::string payload, why;
+    switch (readBlobFile(entryPath(fp), kMagic, version, &payload,
+                         &why)) {
+      case BlobRead::kMissing:
+        return miss();
+      case BlobRead::kCorrupt:
+        break; // rejected below
+      case BlobRead::kHit:
+        try {
+            auto kernel =
+                std::make_unique<lir::Kernel>(deserializeKernel(payload));
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.disk_hits;
+            return kernel;
+        } catch (const TilusError &e) {
+            why = e.what();
+        }
+        break;
+    }
+    warn("kernel cache entry " + fp.hex() + " rejected: " + why);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.disk_errors;
+    return nullptr;
+}
+
+void
+KernelCache::store(const Fingerprint &fp, const lir::Kernel &kernel,
+                   uint32_t version)
+{
+    if (!enabled_)
+        return;
+    if (!writeBlobAtomic(entryPath(fp), kMagic, version,
+                         serializeKernel(kernel)))
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.stores;
+}
+
+CacheStats
+KernelCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace cache
+} // namespace tilus

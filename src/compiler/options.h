@@ -9,8 +9,23 @@
  */
 #pragma once
 
+#include <cstdint>
+
 namespace tilus {
 namespace compiler {
+
+/**
+ * Compiler behavior revision. Bump whenever compiler::compile can
+ * produce different LIR for the same (program, options) input — a
+ * lowering change, a new or fixed optimizer pass, different
+ * instruction selection. It feeds the kernel-cache fingerprint and the
+ * autotune-database key (src/cache/), so every artifact produced by an
+ * older compiler misses and is recompiled; without the bump, warm
+ * caches (developer machines, CI's persisted ~/.cache/tilus) would
+ * keep serving kernels the old compiler built and the change would
+ * silently not take effect on cached paths.
+ */
+constexpr uint32_t kCompilerRevision = 1;
 
 /**
  * LIR optimization level (the pass pipeline of src/opt/):

@@ -86,6 +86,9 @@ class Layout
     const std::vector<int> &modeDim() const { return mode_dim_; }
     const std::vector<int> &spatialModes() const { return spatial_modes_; }
     const std::vector<int> &localModes() const { return local_modes_; }
+    /** Provenance label ("" when built directly from make); display
+        only, but serialized so a cached kernel prints identically. */
+    const std::string &label() const { return label_; }
     /// @}
 
     int rank() const { return static_cast<int>(shape_.size()); }

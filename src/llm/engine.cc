@@ -108,6 +108,16 @@ ServingEngine::stepMs(int64_t tokens, int64_t past_tokens, bool prefill)
     return us / 1000.0;
 }
 
+void
+ServingEngine::warmUp(const std::vector<int64_t> &decode_batches,
+                      const std::vector<int64_t> &prefill_chunks)
+{
+    for (int64_t batch : decode_batches)
+        decodeMs(batch);
+    for (int64_t tokens : prefill_chunks)
+        prefillMs(tokens, 0);
+}
+
 double
 ServingEngine::decodeMs(int64_t batch)
 {

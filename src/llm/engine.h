@@ -99,6 +99,19 @@ class ServingEngine : public StepCostModel
     double prefillMs(int64_t tokens, int64_t past_tokens) override;
     using StepCostModel::prefillMs;
 
+    /**
+     * Tune and memoize the step costs for the given decode batch sizes
+     * and prefill chunk sizes up front, instead of lazily on first
+     * lookup. Every matmul tuning goes through the persistent autotune
+     * database (cache/tune_db.h): the first process pays the sweeps
+     * (compile-ahead parallelized), repeat processes warm up in
+     * milliseconds. serving::Simulator::warmUp does the same through
+     * the StepCostModel interface for the exact bucket sets its event
+     * loop will request.
+     */
+    void warmUp(const std::vector<int64_t> &decode_batches,
+                const std::vector<int64_t> &prefill_chunks);
+
     int64_t kvCapacityTokens() const override
     {
         return options_.context_tokens * options_.max_batch;

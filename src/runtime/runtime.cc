@@ -1,7 +1,5 @@
 #include "runtime/runtime.h"
 
-#include <sstream>
-
 #include "support/error.h"
 
 namespace tilus {
@@ -38,24 +36,48 @@ const lir::Kernel &
 Runtime::getOrCompile(const ir::Program &program,
                       const compiler::CompileOptions &options)
 {
-    std::ostringstream key;
-    key << program.name << "|arch=" << options.sm_arch
-        << "|opt=" << static_cast<int>(options.opt_level)
-        << "|vec=" << options.enable_vectorize
-        << "|ldm=" << options.enable_ldmatrix
-        << "|scalar_cast=" << options.force_scalar_cast
-        << "|no_cpasync=" << options.forbid_cp_async;
-    auto it = cache_.find(key.str());
-    if (it != cache_.end())
-        return *it->second.kernel;
+    const cache::Fingerprint fp =
+        cache::fingerprintProgram(program, options);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(fp);
+        if (it != cache_.end())
+            return *it->second.kernel;
+    }
+
+    // Materialize outside the lock: compilation (and disk I/O) is the
+    // expensive part, and the compile-ahead pool runs many of these
+    // concurrently. A lost race on insertion just discards a duplicate.
     CachedKernel entry;
-    entry.kernel =
-        std::make_unique<lir::Kernel>(compiler::compile(program, options));
-    ++compile_count_;
-    auto [pos, inserted] = cache_.emplace(key.str(), std::move(entry));
-    TILUS_CHECK(inserted);
-    entries_.emplace(pos->second.kernel.get(), &pos->second);
-    return *pos->second.kernel;
+    bool from_disk = false;
+    if (disk_cache_) {
+        entry.kernel = disk_cache_->load(fp);
+        from_disk = entry.kernel != nullptr;
+    }
+    if (!entry.kernel)
+        entry.kernel = std::make_unique<lir::Kernel>(
+            compiler::compile(program, options));
+
+    const lir::Kernel *result;
+    bool persist = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(fp);
+        if (it != cache_.end())
+            return *it->second.kernel; // another thread won the race
+        if (from_disk)
+            ++disk_load_count_;
+        else
+            ++compile_count_;
+        auto [pos, inserted] = cache_.emplace(fp, std::move(entry));
+        TILUS_CHECK(inserted);
+        entries_.emplace(pos->second.kernel.get(), &pos->second);
+        result = pos->second.kernel.get();
+        persist = !from_disk && disk_cache_ != nullptr;
+    }
+    if (persist) // I/O off the lock; map nodes are address-stable
+        disk_cache_->store(fp, *result);
+    return *result;
 }
 
 const sim::MicroProgram *
@@ -63,6 +85,7 @@ Runtime::cachedProgram(const lir::Kernel &kernel) const
 {
     if (sim::resolveEngine(sim::Engine::kAuto) == sim::Engine::kTreeWalk)
         return nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(&kernel);
     if (it == entries_.end())
         return nullptr;

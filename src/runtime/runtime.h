@@ -11,9 +11,12 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "cache/fingerprint.h"
+#include "cache/kernel_cache.h"
 #include "compiler/compiler.h"
 #include "dtype/packing.h"
 #include "ir/program.h"
@@ -73,17 +76,35 @@ class Runtime
     PackedBuffer download(const DeviceTensor &tensor);
 
     /**
-     * Compile (or fetch from cache) a program. The cache key is the
-     * program name plus the option fingerprint; the paper's runtime keeps
-     * the same in-memory kernel cache to avoid recompilation. The kernel
-     * is pre-decoded for the micro-op engine at the same time, so every
-     * launch and autotune probe of a cached kernel pays decode once.
+     * Compile (or fetch from cache) a program. The key is the
+     * content-addressed fingerprint of (program, options, cache format
+     * version) — see cache::fingerprintProgram — so equivalent rebuilds
+     * of one template configuration share a kernel no matter which
+     * process-global ids their IR carries, and O0/O2 twins of the same
+     * program never alias. Lookup order: in-memory tier, then the
+     * on-disk artifact store (skipped when TILUS_CACHE=off or
+     * setDiskCache(nullptr)), then compiler::compile — freshly compiled
+     * kernels are persisted to disk. The kernel is pre-decoded for the
+     * micro-op engine lazily, so every launch and autotune probe of a
+     * cached kernel pays decode once.
+     *
+     * Thread-safe: cold autotune sweeps call this concurrently from the
+     * compile-ahead pool (cache/compile_pool.h). Racing compilations of
+     * the same fingerprint are deduplicated at insertion.
      */
     const lir::Kernel &getOrCompile(const ir::Program &program,
                                     const compiler::CompileOptions &options);
 
-    /** Number of compilations performed (cache effectiveness metric). */
+    /** Number of real compilations performed (cache effectiveness). */
     int compileCount() const { return compile_count_; }
+
+    /** Number of kernels materialized from the disk tier instead of
+        being compiled. */
+    int diskLoadCount() const { return disk_load_count_; }
+
+    /** Override the disk tier (tests use temp-dir caches); nullptr
+        makes the runtime memory-only. Default: KernelCache::instance(). */
+    void setDiskCache(cache::KernelCache *disk) { disk_cache_ = disk; }
 
     /**
      * The cached pre-decoded program for a kernel obtained from
@@ -127,11 +148,17 @@ class Runtime
 
     sim::GpuSpec spec_;
     sim::Device device_;
+    /// Guards cache_/entries_/lazy decode; the simulated device itself
+    /// is NOT thread-safe — only compilation and ghost tracing may run
+    /// concurrently, launches stay single-threaded.
+    mutable std::mutex mutex_;
     /// Values are decoded lazily by cachedProgram; node addresses are
     /// stable, so entries_ may point into the map.
-    mutable std::map<std::string, CachedKernel> cache_;
+    mutable std::map<cache::Fingerprint, CachedKernel> cache_;
     mutable std::map<const lir::Kernel *, CachedKernel *> entries_;
+    cache::KernelCache *disk_cache_ = &cache::KernelCache::instance();
     int compile_count_ = 0;
+    int disk_load_count_ = 0;
 };
 
 } // namespace runtime

@@ -31,6 +31,30 @@ Simulator::Simulator(llm::StepCostModel &costs, Scheduler &scheduler,
                    "simulator needs a positive prefill chunk");
 }
 
+void
+Simulator::warmUp()
+{
+    const SchedulerLimits &limits = options_.limits;
+    // Decode: the loop only ever looks up bucketed batch sizes.
+    if (options_.decode_cost_pow2) {
+        for (int64_t b = 1; b < limits.max_batch; b *= 2)
+            decodeCostMs(b);
+        decodeCostMs(limits.max_batch);
+    } else {
+        for (int64_t b = 1; b <= limits.max_batch; ++b)
+            decodeCostMs(b);
+    }
+    // Prefill: chunk sizes are capped by the scheduler and bucketed by
+    // the cost table; past context only changes analytic attention math
+    // (the tuned matmul costs are keyed by the chunk token count).
+    const int64_t bucket = std::max<int64_t>(
+        options_.prefill_cost_bucket, 1);
+    for (int64_t t = bucket; t < limits.prefill_chunk_tokens;
+         t += bucket)
+        prefillCostMs(t, 0);
+    prefillCostMs(limits.prefill_chunk_tokens, 0);
+}
+
 double
 Simulator::decodeCostMs(int64_t batch)
 {

@@ -57,6 +57,17 @@ class Simulator
     /** Run @p trace to completion and aggregate the report. */
     ServingReport run(const Trace &trace);
 
+    /**
+     * Pre-populate every step cost the event loop can request: decode
+     * batch buckets up to max_batch and prefill chunk buckets up to the
+     * scheduler's chunk limit. A cold engine moves all kernel tuning
+     * out of the timed run here (fanned out through the compile pool);
+     * with a warm autotune database (cache/tune_db.h) this returns in
+     * milliseconds. Optional — costs are otherwise tuned lazily on
+     * first use, exactly as before.
+     */
+    void warmUp();
+
   private:
     double decodeCostMs(int64_t batch);
     double prefillCostMs(int64_t tokens, int64_t past_tokens);

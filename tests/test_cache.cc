@@ -1,0 +1,599 @@
+/**
+ * @file
+ * The content-addressed kernel cache and persistent autotune database
+ * (src/cache/): fingerprint stability across rebuilds, exhaustive
+ * byte-identical LIR serialization round trips over the kernel suite,
+ * whole-DRAM oracle equivalence of deserialized kernels, the on-disk
+ * tier's corruption/version robustness (always a miss, never a crash),
+ * Runtime integration across simulated process restarts, tune-database
+ * determinism, and concurrent-tuner thread safety.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "autotune/tuner.h"
+#include "cache/compile_pool.h"
+#include "cache/fingerprint.h"
+#include "cache/kernel_cache.h"
+#include "cache/serialize.h"
+#include "cache/tune_db.h"
+#include "kernels/elementwise.h"
+#include "kernels/matmul.h"
+#include "opt/oracle.h"
+#include "sim/gpu_spec.h"
+#include "test_helpers.h"
+
+namespace tilus {
+namespace {
+
+using kernels::MatmulConfig;
+
+/** A unique directory under /tmp, removed on destruction. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        std::string tmpl =
+            (std::filesystem::temp_directory_path() / "tilus_cache_XXXXXX")
+                .string();
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        EXPECT_NE(mkdtemp(buf.data()), nullptr);
+        path = buf.data();
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+MatmulConfig
+tensorCoreConfig(DataType wdtype)
+{
+    MatmulConfig cfg;
+    cfg.wdtype = wdtype;
+    cfg.n = 128;
+    cfg.k = 128;
+    cfg.bm = 16;
+    cfg.bn = 64;
+    cfg.bk = 32;
+    cfg.warp_m = 1;
+    cfg.warp_n = 2;
+    cfg.stages = 2;
+    cfg.use_tensor_cores = true;
+    return cfg;
+}
+
+MatmulConfig
+simtConfig(DataType wdtype)
+{
+    MatmulConfig cfg;
+    cfg.wdtype = wdtype;
+    cfg.n = 128;
+    cfg.k = 96;
+    cfg.bm = 4;
+    cfg.bn = 128;
+    cfg.bk = 32;
+    cfg.simt_warps = 2;
+    cfg.stages = 3;
+    cfg.use_tensor_cores = false;
+    return cfg;
+}
+
+/** The round-trip suite: matmul main + transform kernels across both
+    execution paths, grouped scales, the Triton variant, dense f16, and
+    the elementwise kernels — every LIR op the compiler emits. */
+std::vector<std::pair<std::string, ir::Program>>
+kernelSuite()
+{
+    std::vector<std::pair<std::string, ir::Program>> suite;
+    auto add = [&](const std::string &label, const ir::Program &p) {
+        suite.emplace_back(label, p);
+    };
+    {
+        MatmulConfig cfg = tensorCoreConfig(uint4());
+        cfg.group_size = 32;
+        kernels::MatmulBundle b = kernels::buildMatmul(cfg);
+        add("tc_u4_grouped", b.main_program);
+        EXPECT_TRUE(b.transform_program.has_value());
+        if (b.transform_program)
+            add("tc_u4_transform", *b.transform_program);
+    }
+    {
+        kernels::MatmulBundle b =
+            kernels::buildMatmul(tensorCoreConfig(float6e3m2()));
+        add("tc_f6", b.main_program);
+    }
+    {
+        MatmulConfig cfg = tensorCoreConfig(uint4());
+        cfg.convert_via_smem = true;
+        add("tc_u4_via_smem",
+            kernels::buildMatmul(cfg).main_program);
+    }
+    {
+        MatmulConfig cfg = tensorCoreConfig(uint3());
+        cfg.transform_weights = false; // bitwise fallback path
+        add("tc_u3_untransformed",
+            kernels::buildMatmul(cfg).main_program);
+    }
+    {
+        kernels::MatmulBundle b =
+            kernels::buildMatmul(tensorCoreConfig(float16()));
+        add("tc_f16_dense", b.main_program);
+    }
+    {
+        kernels::MatmulBundle b =
+            kernels::buildMatmul(simtConfig(uint4()));
+        add("simt_u4", b.main_program);
+    }
+    add("vector_add", kernels::buildVectorAdd().program);
+    add("axpy", kernels::buildAxpy().program);
+    return suite;
+}
+
+// --------------------------------------------------------- fingerprints
+
+TEST(Fingerprint, StableAcrossRebuilds)
+{
+    // Two builds of one configuration carry entirely different
+    // process-global variable/tensor ids; the canonicalized fingerprint
+    // must not see them.
+    MatmulConfig cfg = tensorCoreConfig(uint4());
+    ir::Program a = kernels::buildMatmul(cfg).main_program;
+    ir::Program b = kernels::buildMatmul(cfg).main_program;
+    EXPECT_EQ(cache::fingerprintProgram(a, {}),
+              cache::fingerprintProgram(b, {}));
+}
+
+TEST(Fingerprint, OptLevelTwinsNeverAlias)
+{
+    // The oracle in opt/oracle.h depends on O0 and O2 compilations of
+    // one program staying distinct kernels.
+    ir::Program p =
+        kernels::buildMatmul(tensorCoreConfig(uint4())).main_program;
+    compiler::CompileOptions o0;
+    o0.opt_level = compiler::OptLevel::O0;
+    compiler::CompileOptions o2;
+    EXPECT_NE(cache::fingerprintProgram(p, o0),
+              cache::fingerprintProgram(p, o2));
+
+    TempDir dir;
+    cache::KernelCache disk(dir.path);
+    runtime::Runtime rt(sim::l40s());
+    rt.setDiskCache(&disk);
+    const lir::Kernel &k0 = rt.getOrCompile(p, o0);
+    const lir::Kernel &k2 = rt.getOrCompile(p, o2);
+    EXPECT_NE(&k0, &k2);
+    EXPECT_EQ(rt.compileCount(), 2);
+}
+
+TEST(Fingerprint, DistinguishesConfigsAndOptions)
+{
+    ir::Program base =
+        kernels::buildMatmul(tensorCoreConfig(uint4())).main_program;
+    MatmulConfig other_cfg = tensorCoreConfig(uint4());
+    other_cfg.bk = 64;
+    ir::Program other =
+        kernels::buildMatmul(other_cfg).main_program;
+    EXPECT_NE(cache::fingerprintProgram(base, {}),
+              cache::fingerprintProgram(other, {}));
+
+    compiler::CompileOptions no_vec;
+    no_vec.enable_vectorize = false;
+    EXPECT_NE(cache::fingerprintProgram(base, {}),
+              cache::fingerprintProgram(base, no_vec));
+}
+
+// --------------------------------------------------------- serialization
+
+TEST(Serialize, RoundTripIsByteIdenticalAcrossSuite)
+{
+    for (const auto &[label, program] : kernelSuite()) {
+        for (compiler::OptLevel level :
+             {compiler::OptLevel::O0, compiler::OptLevel::O2}) {
+            compiler::CompileOptions opts;
+            opts.opt_level = level;
+            lir::Kernel kernel = compiler::compile(program, opts);
+            std::string bytes = cache::serializeKernel(kernel);
+            lir::Kernel loaded = cache::deserializeKernel(bytes);
+            // Byte-identical re-serialization and identical listings.
+            EXPECT_EQ(cache::serializeKernel(loaded), bytes)
+                << label << " at O" << static_cast<int>(level);
+            EXPECT_EQ(lir::printKernel(loaded), lir::printKernel(kernel))
+                << label << " at O" << static_cast<int>(level);
+        }
+    }
+}
+
+TEST(Serialize, DeserializedKernelPassesWholeDramOracle)
+{
+    // The acceptance bar: a kernel materialized from cache bytes is
+    // observably indistinguishable from the freshly compiled one over
+    // the entire simulated DRAM.
+    MatmulConfig cfg = tensorCoreConfig(uint4());
+    cfg.group_size = 32;
+    for (const ir::Program &program :
+         {kernels::buildMatmul(cfg).main_program,
+          kernels::buildMatmul(simtConfig(uint4())).main_program}) {
+        lir::Kernel fresh = compiler::compile(program, {});
+        lir::Kernel loaded =
+            cache::deserializeKernel(cache::serializeKernel(fresh));
+        opt::OracleConfig oracle;
+        oracle.scalars = {{"m", 8}};
+        opt::OracleReport report =
+            opt::diffKernels(fresh, loaded, oracle);
+        EXPECT_TRUE(report.identical) << report.detail;
+    }
+}
+
+TEST(Serialize, SpecialVariablesRebindToSingletons)
+{
+    // tid must stay the process singleton after a round trip — the
+    // micro-op decoder classifies addresses by its identity.
+    lir::Kernel kernel = compiler::compile(
+        kernels::buildMatmul(tensorCoreConfig(uint4())).main_program,
+        {});
+    lir::Kernel loaded =
+        cache::deserializeKernel(cache::serializeKernel(kernel));
+    opt::OracleConfig oracle;
+    oracle.scalars = {{"m", 8}};
+    sim::Device device(oracle.device_bytes);
+    sim::SimStats stats =
+        opt::runSeeded(loaded, oracle, device, sim::Engine::kMicroOps);
+    EXPECT_GT(stats.mma_ops, 0);
+}
+
+TEST(Serialize, CorruptPayloadThrowsFormatError)
+{
+    lir::Kernel kernel = compiler::compile(
+        kernels::buildMatmul(tensorCoreConfig(uint4())).main_program,
+        {});
+    std::string bytes = cache::serializeKernel(kernel);
+    // Truncation at every prefix must throw, never crash.
+    for (size_t cut : {size_t(0), size_t(1), bytes.size() / 2,
+                       bytes.size() - 1}) {
+        EXPECT_THROW(cache::deserializeKernel(bytes.substr(0, cut)),
+                     cache::CacheFormatError)
+            << "cut=" << cut;
+    }
+    // Trailing garbage is rejected too.
+    EXPECT_THROW(cache::deserializeKernel(bytes + "x"),
+                 cache::CacheFormatError);
+}
+
+// --------------------------------------------------------- disk tier
+
+TEST(KernelCache, StoreLoadAcrossInstances)
+{
+    TempDir dir;
+    lir::Kernel kernel = compiler::compile(
+        kernels::buildMatmul(tensorCoreConfig(uint4())).main_program,
+        {});
+    cache::Fingerprint fp;
+    fp.lo = 0x1234;
+    fp.hi = 0x5678;
+    {
+        cache::KernelCache cache(dir.path);
+        cache.store(fp, kernel);
+        EXPECT_EQ(cache.stats().stores, 1);
+    }
+    cache::KernelCache reopened(dir.path); // simulated process restart
+    std::unique_ptr<lir::Kernel> loaded = reopened.load(fp);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(cache::serializeKernel(*loaded),
+              cache::serializeKernel(kernel));
+    EXPECT_EQ(reopened.stats().disk_hits, 1);
+    EXPECT_EQ(reopened.load(cache::Fingerprint{}), nullptr); // miss
+    EXPECT_EQ(reopened.stats().disk_misses, 1);
+}
+
+TEST(KernelCache, VersionBumpForcesMiss)
+{
+    TempDir dir;
+    cache::KernelCache cache(dir.path);
+    lir::Kernel kernel = compiler::compile(
+        kernels::buildMatmul(tensorCoreConfig(uint4())).main_program,
+        {});
+    cache::Fingerprint fp;
+    fp.lo = 1;
+    cache.store(fp, kernel, cache::kCacheFormatVersion);
+    EXPECT_NE(cache.load(fp, cache::kCacheFormatVersion), nullptr);
+    // A format bump invalidates every existing artifact.
+    EXPECT_EQ(cache.load(fp, cache::kCacheFormatVersion + 1), nullptr);
+    EXPECT_EQ(cache.stats().disk_errors, 1);
+}
+
+TEST(KernelCache, TruncatedAndCorruptEntriesDegradeToMiss)
+{
+    TempDir dir;
+    cache::KernelCache cache(dir.path);
+    lir::Kernel kernel = compiler::compile(
+        kernels::buildMatmul(tensorCoreConfig(uint4())).main_program,
+        {});
+    cache::Fingerprint fp;
+    fp.lo = 2;
+    cache.store(fp, kernel);
+    const std::string path = cache.entryPath(fp);
+    std::string blob;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        blob = oss.str();
+    }
+
+    // Truncate at several points, including inside the header.
+    for (size_t cut : {size_t(3), size_t(20), blob.size() / 2,
+                       blob.size() - 1}) {
+        std::ofstream(path, std::ios::binary | std::ios::trunc)
+            << blob.substr(0, cut);
+        EXPECT_EQ(cache.load(fp), nullptr) << "cut=" << cut;
+    }
+    // Flip a payload byte: the content hash must catch it.
+    std::string corrupt = blob;
+    corrupt[corrupt.size() - 10] ^= 0x40;
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << corrupt;
+    EXPECT_EQ(cache.load(fp), nullptr);
+    EXPECT_GE(cache.stats().disk_errors, 5);
+
+    // Restore: it loads again (the store itself was never damaged).
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << blob;
+    EXPECT_NE(cache.load(fp), nullptr);
+}
+
+TEST(KernelCache, DisabledCacheMissesAndSkipsWrites)
+{
+    TempDir dir;
+    cache::KernelCache cache(dir.path, /*enabled=*/false);
+    lir::Kernel kernel = compiler::compile(
+        kernels::buildMatmul(tensorCoreConfig(uint4())).main_program,
+        {});
+    cache::Fingerprint fp;
+    fp.lo = 3;
+    cache.store(fp, kernel);
+    EXPECT_EQ(cache.load(fp), nullptr);
+    EXPECT_EQ(cache.stats().stores, 0);
+    EXPECT_FALSE(std::filesystem::exists(cache.entryPath(fp)));
+}
+
+// --------------------------------------------------- runtime integration
+
+TEST(RuntimeCache, DiskTierSurvivesProcessRestart)
+{
+    TempDir dir;
+    MatmulConfig cfg = tensorCoreConfig(uint4());
+    std::string first_listing;
+    {
+        cache::KernelCache disk(dir.path);
+        runtime::Runtime rt(sim::l40s());
+        rt.setDiskCache(&disk);
+        const lir::Kernel &k = rt.getOrCompile(
+            kernels::buildMatmul(cfg).main_program, {});
+        first_listing = lir::printKernel(k);
+        EXPECT_EQ(rt.compileCount(), 1);
+        EXPECT_EQ(rt.diskLoadCount(), 0);
+    }
+    {
+        cache::KernelCache disk(dir.path); // simulated restart
+        runtime::Runtime rt(sim::l40s());
+        rt.setDiskCache(&disk);
+        const lir::Kernel &k = rt.getOrCompile(
+            kernels::buildMatmul(cfg).main_program, {});
+        EXPECT_EQ(rt.compileCount(), 0); // materialized from disk
+        EXPECT_EQ(rt.diskLoadCount(), 1);
+        EXPECT_EQ(lir::printKernel(k), first_listing);
+
+        // In-memory tier takes over for the rebuilt equivalent bundle.
+        const lir::Kernel &again = rt.getOrCompile(
+            kernels::buildMatmul(cfg).main_program, {});
+        EXPECT_EQ(&again, &k);
+        EXPECT_EQ(rt.diskLoadCount(), 1);
+    }
+}
+
+TEST(RuntimeCache, DiskLoadedKernelComputesCorrectly)
+{
+    // End to end through a *cache-materialized* kernel: upload, weight
+    // transform, launch, download, compare against the double-precision
+    // reference.
+    TempDir dir;
+    MatmulConfig cfg = tensorCoreConfig(uint4());
+    const int64_t m = 16;
+    PackedBuffer a = testing::randomActivations(m * cfg.k, 11);
+    PackedBuffer b = testing::randomWeights(cfg.wdtype, cfg.k * cfg.n, 12);
+    std::vector<double> want = testing::referenceMatmul(cfg, m, a, b,
+                                                        nullptr);
+    cache::KernelCache disk(dir.path);
+    {
+        runtime::Runtime rt(sim::l40s());
+        rt.setDiskCache(&disk);
+        testing::runMatmul(rt, cfg, m, a, b, nullptr);
+        EXPECT_GT(rt.compileCount(), 0);
+    }
+    runtime::Runtime rt(sim::l40s());
+    rt.setDiskCache(&disk);
+    testing::MatmulRun run = testing::runMatmul(rt, cfg, m, a, b,
+                                                nullptr);
+    EXPECT_EQ(rt.compileCount(), 0);
+    EXPECT_GT(rt.diskLoadCount(), 0);
+    EXPECT_LT(testing::maxRelativeError(run.result, want), 5e-2);
+}
+
+// --------------------------------------------------------- tune database
+
+autotune::SweepRequest
+smallSweep(int64_t m)
+{
+    autotune::SweepRequest req;
+    req.wdtype = uint4();
+    req.n = 256;
+    req.k = 256;
+    req.m = m;
+    req.space.bm_tc = {16, 32};
+    req.space.bn = {64, 128};
+    req.space.bk = {32};
+    req.space.warps_m = {1};
+    req.space.warps_n = {2};
+    req.space.simt_warps = {2};
+    req.space.stages = {2};
+    return req;
+}
+
+TEST(TuneDb, WarmSweepMatchesColdAndSkipsCompilation)
+{
+    TempDir dir;
+    cache::TuneDb db(dir.path);
+    autotune::SweepRequest req = smallSweep(16);
+
+    runtime::Runtime cold_rt(sim::l40s());
+    cold_rt.setDiskCache(nullptr);
+    autotune::TuneResult cold = autotune::sweepCached(cold_rt, req, &db);
+    EXPECT_GT(cold.candidates_tried, 0);
+    EXPECT_GT(cold_rt.compileCount(), 0);
+    EXPECT_EQ(db.stats().stores, 1);
+
+    runtime::Runtime warm_rt(sim::l40s()); // simulated restart
+    warm_rt.setDiskCache(nullptr);
+    autotune::TuneResult warm = autotune::sweepCached(warm_rt, req, &db);
+    EXPECT_EQ(warm_rt.compileCount(), 0); // sweep skipped entirely
+    EXPECT_EQ(warm.config.name(), cold.config.name());
+    EXPECT_EQ(warm.candidates_tried, cold.candidates_tried);
+    // Bit-exact latency record (doubles round-trip by bit pattern).
+    EXPECT_EQ(warm.latency.total_us, cold.latency.total_us);
+    EXPECT_EQ(warm.latency.pipelined, cold.latency.pipelined);
+}
+
+TEST(TuneDb, KeyCoversSpaceOptionsAndTraits)
+{
+    const sim::GpuSpec spec = sim::l40s();
+    autotune::SweepRequest base = smallSweep(16);
+    cache::Fingerprint key = autotune::tuneKey(base, spec);
+
+    autotune::SweepRequest o0 = base;
+    o0.opts.opt_level = compiler::OptLevel::O0;
+    EXPECT_NE(autotune::tuneKey(o0, spec), key);
+
+    autotune::SweepRequest wider = base;
+    wider.space.stages = {2, 3};
+    EXPECT_NE(autotune::tuneKey(wider, spec), key);
+
+    autotune::SweepRequest traits = base;
+    traits.traits.occupancy_factor = 0.5;
+    EXPECT_NE(autotune::tuneKey(traits, spec), key);
+
+    autotune::SweepRequest grouped = base;
+    grouped.group_size = 64;
+    EXPECT_NE(autotune::tuneKey(grouped, spec), key);
+
+    EXPECT_NE(autotune::tuneKey(base, sim::a100()), key);
+}
+
+TEST(TuneDb, CorruptRecordDegradesToMiss)
+{
+    TempDir dir;
+    cache::TuneDb db(dir.path);
+    cache::TuneRecord record;
+    record.config = tensorCoreConfig(uint4());
+    record.latency.total_us = 12.5;
+    record.candidates_tried = 7;
+    cache::Fingerprint key;
+    key.lo = 9;
+    db.store(key, record);
+
+    std::optional<cache::TuneRecord> loaded = db.load(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->config.name(), record.config.name());
+    EXPECT_EQ(loaded->latency.total_us, 12.5);
+    EXPECT_EQ(loaded->candidates_tried, 7);
+
+    const std::string path = db.entryPath(key);
+    std::string blob;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        blob = oss.str();
+    }
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        << blob.substr(0, blob.size() / 2);
+    EXPECT_FALSE(db.load(key).has_value());
+    std::string corrupt = blob;
+    corrupt[corrupt.size() - 4] ^= 0x11;
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << corrupt;
+    EXPECT_FALSE(db.load(key).has_value());
+    EXPECT_EQ(db.stats().disk_errors, 2);
+}
+
+// --------------------------------------------------------- concurrency
+
+TEST(CompilePool, ParallelForVisitsEveryIndexAndPropagates)
+{
+    std::vector<std::atomic<int>> hits(64);
+    cache::parallelFor(
+        64, [&](int64_t i) { hits[i].fetch_add(1); }, /*threads=*/4);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << i;
+
+    EXPECT_THROW(cache::parallelFor(
+                     16,
+                     [&](int64_t i) {
+                         if (i == 5)
+                             throw SimError("boom");
+                     },
+                     4),
+                 SimError);
+}
+
+TEST(ConcurrentTuners, ThreadSafeAndDeterministic)
+{
+    // Four threads tune different problems against one shared Runtime,
+    // one shared disk cache, and one shared tune database — exactly the
+    // hot path of a multi-threaded serving warm-up. Results must match
+    // a serial reference tuned on fresh state.
+    TempDir dir;
+    const std::vector<int64_t> problems = {8, 16, 32, 64};
+
+    std::vector<std::string> serial(problems.size());
+    for (size_t i = 0; i < problems.size(); ++i) {
+        cache::TuneDb db(dir.path + "/serial" + std::to_string(i));
+        runtime::Runtime rt(sim::l40s());
+        rt.setDiskCache(nullptr);
+        serial[i] =
+            autotune::sweepCached(rt, smallSweep(problems[i]), &db)
+                .config.name();
+    }
+
+    cache::KernelCache shared_disk(dir.path + "/shared");
+    cache::TuneDb shared_db(dir.path + "/shared");
+    runtime::Runtime shared_rt(sim::l40s());
+    shared_rt.setDiskCache(&shared_disk);
+    std::vector<std::string> parallel(problems.size());
+    std::vector<std::thread> threads;
+    threads.reserve(problems.size());
+    for (size_t i = 0; i < problems.size(); ++i) {
+        threads.emplace_back([&, i] {
+            parallel[i] = autotune::sweepCached(
+                              shared_rt, smallSweep(problems[i]),
+                              &shared_db)
+                              .config.name();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (size_t i = 0; i < problems.size(); ++i)
+        EXPECT_EQ(parallel[i], serial[i]) << "m=" << problems[i];
+    EXPECT_EQ(shared_db.stats().stores,
+              static_cast<int64_t>(problems.size()));
+}
+
+} // namespace
+} // namespace tilus

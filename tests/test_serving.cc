@@ -10,6 +10,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "serving/simulator.h"
 #include "support/percentile.h"
 
@@ -442,6 +444,55 @@ TEST(Simulator, CostBucketingRoundsUpDeterministically)
         EXPECT_TRUE(batch == 1 || batch == 2 || batch == 4) << batch;
     for (int64_t tokens : costs.prefill_tokens)
         EXPECT_EQ(tokens % 64, 0) << tokens;
+}
+
+TEST(Simulator, WarmUpCoversEveryBucketedLookup)
+{
+    // warmUp must pre-touch exactly the cost buckets the event loop can
+    // later request, so a warmed engine never tunes inside a timed run.
+    class RecordingCost : public FakeCost
+    {
+      public:
+        RecordingCost() : FakeCost(1 << 20, 8) {}
+        double
+        decodeMs(int64_t batch) override
+        {
+            decode_batches.insert(batch);
+            return FakeCost::decodeMs(batch);
+        }
+        double
+        prefillMs(int64_t tokens, int64_t past_tokens) override
+        {
+            prefill_tokens.insert(tokens);
+            return FakeCost::prefillMs(tokens, past_tokens);
+        }
+        std::set<int64_t> decode_batches;
+        std::set<int64_t> prefill_tokens;
+    };
+
+    RecordingCost costs;
+    FcfsScheduler scheduler;
+    SimOptions options;
+    options.limits = serving::limitsFrom(costs);
+    options.limits.prefill_chunk_tokens = 192;
+    Simulator simulator(costs, scheduler, options);
+    simulator.warmUp();
+    EXPECT_EQ(costs.decode_batches,
+              (std::set<int64_t>{1, 2, 4, 8})); // pow2 up to max_batch
+    EXPECT_EQ(costs.prefill_tokens,
+              (std::set<int64_t>{64, 128, 192})); // bucket multiples
+
+    // A real run only ever requests lookups the warm-up already made.
+    const std::set<int64_t> warm_decode = costs.decode_batches;
+    const std::set<int64_t> warm_prefill = costs.prefill_tokens;
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 130, 3, 0});
+    trace.requests.push_back({1, 0.0, 130, 3, 0});
+    trace.requests.push_back({2, 0.5, 200, 5, 0});
+    ServingReport report = simulator.run(trace);
+    EXPECT_EQ(report.completed, 3);
+    EXPECT_EQ(costs.decode_batches, warm_decode);
+    EXPECT_EQ(costs.prefill_tokens, warm_prefill);
 }
 
 TEST(Report, JsonContainsEveryHeadlineMetric)
