@@ -5,7 +5,10 @@
  * L40S through the FCFS continuous-batching scheduler, and print every
  * request's lifecycle (arrival -> admission -> first token -> done)
  * plus the aggregate report; then repeat the same requests as a
- * closed-loop run with four clients to show the other loop discipline.
+ * closed-loop run with four clients to show the other loop discipline;
+ * finally rerun with paged KV accounting on a deliberately tight page
+ * pool so out-of-pages preemption (evict, re-queue, recompute on
+ * resume) shows up in the lifecycle table.
  */
 #include <cstdio>
 
@@ -20,9 +23,9 @@ namespace {
 void
 printReport(const serving::ServingReport &report)
 {
-    std::printf("\n%-4s %8s %7s %7s %9s %9s %9s %9s\n", "id", "arrive",
-                "prompt", "output", "admitted", "1st-tok", "finish",
-                "latency");
+    std::printf("\n%-4s %8s %7s %7s %9s %9s %9s %9s %7s\n", "id",
+                "arrive", "prompt", "output", "admitted", "1st-tok",
+                "finish", "latency", "preempt");
     for (const serving::RequestState &state : report.requests) {
         const serving::Request &request = state.request;
         if (state.phase != serving::Phase::kFinished) {
@@ -32,20 +35,24 @@ printReport(const serving::ServingReport &report)
                         serving::phaseName(state.phase));
             continue;
         }
-        std::printf("%-4ld %8.1f %7ld %7ld %9.1f %9.1f %9.1f %9.1f\n",
+        std::printf("%-4ld %8.1f %7ld %7ld %9.1f %9.1f %9.1f %9.1f %7ld\n",
                     long(request.id), request.arrival_ms,
                     long(request.prompt_tokens),
                     long(request.output_tokens), state.admitted_ms,
                     state.first_token_ms, state.finish_ms,
-                    state.finish_ms - request.arrival_ms);
+                    state.finish_ms - request.arrival_ms,
+                    long(state.preemptions));
     }
     std::printf("\n%ld/%ld done in %.0f ms | %.1f tok/s | ttft p50 %.1f "
                 "ms | tpot p50 %.2f ms | latency p95 %.1f ms | mean "
-                "decode batch %.1f\n",
+                "decode batch %.1f | kv occupancy %.0f%% | %ld "
+                "preemptions\n",
                 long(report.completed), long(report.total_requests),
                 report.makespan_ms, report.throughput_tok_s,
                 report.ttft.p50, report.tpot.p50, report.latency.p95,
-                report.mean_decode_batch);
+                report.mean_decode_batch,
+                100.0 * report.mean_kv_used_frac,
+                long(report.preemptions));
 }
 
 } // namespace
@@ -84,5 +91,31 @@ main()
     std::printf("\n== closed loop: 4 clients, same request mix ==\n");
     printReport(
         simulator.run(serving::closedLoopTrace(trace_options, 4)));
+
+    // Paged KV accounting: pages are handed out as context grows, so
+    // admission no longer blocks on worst-case demand. Capping the
+    // pool far below the engine's reservation forces the out-of-pages
+    // condition: watch the preempt column — evicted requests re-queue
+    // and recompute their context on resume, and the run still ends
+    // with every page returned (the simulator checks).
+    serving::TraceOptions burst_options = trace_options;
+    burst_options.prompt_min = 128;
+    burst_options.prompt_max = 512;
+    burst_options.output_min = 64;
+    burst_options.output_max = 128;
+    serving::PagedFcfsScheduler paged_scheduler;
+    serving::SimOptions paged_options;
+    paged_options.limits = serving::pagedLimitsFrom(engine);
+    paged_options.limits.kv_capacity_tokens = 2048; // tight on purpose
+    std::printf("\n== paged KV: pool capped to %ld tokens (%ld pages "
+                "of %ld), bursty arrivals ==\n",
+                long(paged_options.limits.kv_capacity_tokens),
+                long(paged_options.limits.kv_capacity_tokens /
+                     paged_options.limits.kv_page_tokens),
+                long(paged_options.limits.kv_page_tokens));
+    serving::Simulator paged_simulator(engine, paged_scheduler,
+                                       paged_options);
+    printReport(
+        paged_simulator.run(serving::burstyTrace(burst_options, 6)));
     return 0;
 }

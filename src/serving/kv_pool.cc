@@ -1,0 +1,87 @@
+#include "serving/kv_pool.h"
+
+#include "support/error.h"
+#include "support/math_util.h"
+
+namespace tilus {
+namespace serving {
+
+KvPagePool::KvPagePool(int64_t capacity_tokens, int64_t page_tokens)
+    : page_tokens_(page_tokens),
+      total_pages_(capacity_tokens / page_tokens)
+{
+    TILUS_FATAL_IF(page_tokens < 1,
+                   "KvPagePool needs a positive page size, got "
+                       << page_tokens);
+    TILUS_FATAL_IF(total_pages_ < 1,
+                   "KvPagePool capacity " << capacity_tokens
+                                          << " tokens holds no page of "
+                                          << page_tokens << " tokens");
+    reset();
+}
+
+int64_t
+KvPagePool::pagesForTokens(int64_t tokens) const
+{
+    return tokens <= 0 ? 0 : ceilDiv(tokens, page_tokens_);
+}
+
+int64_t
+KvPagePool::pagesHeld(int64_t owner) const
+{
+    auto it = held_.find(owner);
+    return it == held_.end() ? 0
+                             : static_cast<int64_t>(it->second.size());
+}
+
+const std::vector<int64_t> &
+KvPagePool::pageList(int64_t owner) const
+{
+    static const std::vector<int64_t> kEmpty;
+    auto it = held_.find(owner);
+    return it == held_.end() ? kEmpty : it->second;
+}
+
+bool
+KvPagePool::grow(int64_t owner, int64_t kv_tokens)
+{
+    const int64_t want = pagesForTokens(kv_tokens);
+    const int64_t have = pagesHeld(owner);
+    if (want <= have)
+        return true;
+    if (want - have > freePages())
+        return false;
+    std::vector<int64_t> &pages = held_[owner];
+    for (int64_t i = have; i < want; ++i) {
+        pages.push_back(free_list_.back());
+        free_list_.pop_back();
+    }
+    return true;
+}
+
+void
+KvPagePool::release(int64_t owner)
+{
+    auto it = held_.find(owner);
+    if (it == held_.end())
+        return;
+    // Return in reverse allocation order so alloc/free round trips
+    // restore the free list exactly (deterministic page reuse).
+    for (size_t i = it->second.size(); i-- > 0;)
+        free_list_.push_back(it->second[i]);
+    held_.erase(it);
+}
+
+void
+KvPagePool::reset()
+{
+    held_.clear();
+    free_list_.clear();
+    free_list_.reserve(total_pages_);
+    // Stack with the lowest page id on top.
+    for (int64_t p = total_pages_; p-- > 0;)
+        free_list_.push_back(p);
+}
+
+} // namespace serving
+} // namespace tilus

@@ -63,6 +63,7 @@ struct ServingReport
     int64_t output_tokens = 0;  ///< tokens generated for completed requests
     int64_t prefill_steps = 0;
     int64_t decode_steps = 0;
+    int64_t preemptions = 0; ///< running -> queued evictions (paged mode)
 
     // Time and rates (virtual clock).
     double makespan_ms = 0;       ///< last completion time
@@ -81,6 +82,13 @@ struct ServingReport
     int64_t max_queue_depth = 0;
     double mean_decode_batch = 0; ///< decode-step occupancy
     std::vector<int64_t> batch_histogram; ///< index = decode batch size
+
+    // KV-cache occupancy (both accounting modes; see kv_pool.h).
+    int64_t kv_page_tokens = 0;     ///< page size; 0 = reservation mode
+    int64_t kv_capacity_tokens = 0; ///< pool size the run was bounded by
+    double mean_kv_used_tokens = 0; ///< time-weighted materialized entries
+    int64_t peak_kv_used_tokens = 0;
+    double mean_kv_used_frac = 0;   ///< mean_kv_used_tokens / capacity
 
     // Per-request lifecycle, in trace order (not serialized; used by
     // tests and trace printers).
@@ -150,6 +158,7 @@ ServingReport::toJson() const
         << ",\"output_tokens\":" << output_tokens
         << ",\"prefill_steps\":" << prefill_steps
         << ",\"decode_steps\":" << decode_steps
+        << ",\"preemptions\":" << preemptions
         << ",\"makespan_ms\":" << detail::jsonNum(makespan_ms)
         << ",\"throughput_tok_s\":" << detail::jsonNum(throughput_tok_s)
         << ",\"request_per_s\":" << detail::jsonNum(request_per_s)
@@ -164,6 +173,11 @@ ServingReport::toJson() const
     oss << ",\"mean_queue_depth\":" << detail::jsonNum(mean_queue_depth)
         << ",\"max_queue_depth\":" << max_queue_depth
         << ",\"mean_decode_batch\":" << detail::jsonNum(mean_decode_batch)
+        << ",\"kv_page_tokens\":" << kv_page_tokens
+        << ",\"kv_capacity_tokens\":" << kv_capacity_tokens
+        << ",\"mean_kv_used_tokens\":" << detail::jsonNum(mean_kv_used_tokens)
+        << ",\"peak_kv_used_tokens\":" << peak_kv_used_tokens
+        << ",\"mean_kv_used_frac\":" << detail::jsonNum(mean_kv_used_frac)
         << ",\"batch_histogram\":[";
     for (size_t i = 0; i < batch_histogram.size(); ++i)
         oss << (i ? "," : "") << batch_histogram[i];

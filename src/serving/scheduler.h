@@ -2,16 +2,32 @@
  * @file
  * Pluggable scheduling policies for the continuous-batching event loop.
  * Each simulator iteration the policy sees the queue state and returns a
- * BatchPlan: which queued requests to admit, and whether the engine
- * should run one prefill step (a bounded chunk of prompt tokens) or one
- * decode step (one token for every decode-phase request) — the engine's
- * cost model, like the paper's, prices the two separately and never
- * mixes them in a single iteration.
+ * BatchPlan: which queued requests to admit, which running requests to
+ * preempt (paged mode only), and whether the engine should run one
+ * prefill step (a bounded chunk of prompt tokens) or one decode step
+ * (one token for every decode-phase request) — the engine's cost model,
+ * like the paper's, prices the two separately and never mixes them in a
+ * single iteration.
  *
- * Resource limits (max concurrent requests, total KV-cache tokens) come
- * from the engine's construction-time reservation; policies must plan
- * within them and the simulator verifies every plan, so a buggy policy
- * fails loudly instead of silently over-subscribing device memory.
+ * KV accounting comes in two modes, selected by
+ * SchedulerLimits::kv_page_tokens:
+ *
+ *  - reservation (0, the default): admission reserves each request's
+ *    full `prompt + output` demand up front. Conservative and
+ *    preemption-free — an admitted request can never run out of KV.
+ *  - paged (> 0): a KvPagePool hands out fixed-size pages on demand as
+ *    context grows. Admission only needs headroom for the prompt, so
+ *    batches run fuller; the price is that the pool can run dry
+ *    mid-decode, and the policy must then plan preemptions
+ *    (BatchPlan::preempt) to free pages. Preempted requests drop their
+ *    KV and re-queue; on re-admission they recompute it
+ *    (Sarathi/vLLM-style recompute-on-resume).
+ *
+ * Resource limits (max concurrent requests, total KV pages or tokens)
+ * come from the engine's construction-time reservation; policies must
+ * plan within them and the simulator verifies every plan, so a buggy
+ * policy fails loudly instead of silently over-subscribing device
+ * memory.
  */
 #pragma once
 
@@ -20,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "serving/kv_pool.h"
 #include "serving/request.h"
 
 namespace tilus {
@@ -28,8 +45,8 @@ namespace serving {
 /** Lifecycle phase of a request inside the simulator. */
 enum class Phase
 {
-    kQueued,   ///< arrived, not yet admitted
-    kPrefill,  ///< admitted, prompt not fully processed
+    kQueued,   ///< arrived (or preempted), not currently admitted
+    kPrefill,  ///< admitted, prompt (or recompute) not fully processed
     kDecode,   ///< prompt done, generating tokens
     kFinished, ///< all output tokens produced
     kRejected, ///< can never fit the engine (demand > capacity)
@@ -42,15 +59,28 @@ struct RequestState
 {
     Request request;
     Phase phase = Phase::kQueued;
-    int64_t prefilled_tokens = 0;  ///< prompt tokens already processed
+    int64_t prefilled_tokens = 0;  ///< tokens prefilled this admission
     int64_t generated_tokens = 0;  ///< output tokens produced so far
-    double admitted_ms = -1;
+    int64_t kv_tokens = 0;         ///< KV entries materialized right now
+    int64_t preemptions = 0;       ///< times this request was preempted
+    double admitted_ms = -1;       ///< first admission (queue-wait anchor)
     double first_token_ms = -1;
     double finish_ms = -1;
 
-    /** KV-cache tokens this request occupies once fully served. The
-        scheduler reserves the full demand at admission, which is what
-        guarantees a running request can never hit OOM mid-flight. */
+    /**
+     * Prompt tokens the current admission must prefill before decode
+     * (re)starts. Initially `prompt_tokens`; after a preemption it grows
+     * to `prompt_tokens + generated_tokens` — the dropped KV of both the
+     * prompt and the already-emitted output is recomputed on resume.
+     */
+    int64_t prefill_target_tokens = 0;
+
+    /** KV-cache tokens this request occupies once fully served. In
+        reservation mode the scheduler reserves the full demand at
+        admission, which is what guarantees a running request can never
+        hit OOM mid-flight; in paged mode this is only the admission
+        feasibility bound (a request whose demand exceeds the pool can
+        never finish). */
     int64_t
     kvDemandTokens() const
     {
@@ -65,9 +95,16 @@ struct SchedulerLimits
     int64_t kv_capacity_tokens = 16384;  ///< total KV reservation
     int64_t prefill_chunk_tokens = 256;  ///< prompt tokens per prefill step
 
+    /** Page size of the KV pool in tokens. 0 = reservation mode (full
+        `prompt + output` demand reserved at admission, no preemption);
+        > 0 = paged mode (on-demand pages, policy-driven preemption). */
+    int64_t kv_page_tokens = 0;
+
     /** Per-request context window (prompt + output); requests beyond it
         are rejected at submission. 0 = bounded only by capacity. */
     int64_t max_request_tokens = 0;
+
+    bool paged() const { return kv_page_tokens > 0; }
 };
 
 /** Read-only queue snapshot handed to the policy each iteration. Ids are
@@ -78,9 +115,14 @@ struct SchedulerView
 {
     double now_ms = 0;
     const std::vector<RequestState> *states = nullptr;
-    const std::deque<int64_t> *queued = nullptr;  ///< arrival (FCFS) order
+    const std::deque<int64_t> *queued = nullptr;  ///< preempted first, then arrival order
     const std::vector<int64_t> *running = nullptr; ///< admission order
-    int64_t kv_reserved_tokens = 0; ///< sum of running demands
+    /** Reservation mode: sum of running demands. Paged mode: KV entries
+        materialized across running requests. */
+    int64_t kv_reserved_tokens = 0;
+    /** The page pool in paged mode (free/held/pagesForTokens queries);
+        null in reservation mode. */
+    const KvPagePool *kv_pool = nullptr;
 };
 
 /** One prompt chunk scheduled for one request this iteration. */
@@ -94,9 +136,11 @@ struct PrefillChunk
     `decode` may be non-empty; an entirely empty plan tells the event
     loop to idle until the next arrival. A prefill step carries at most
     ONE chunk — the engine cost model prices a single request's
-    (new tokens, past context) pair per step. */
+    (new tokens, past context) pair per step. Preemptions (paged mode
+    only) are applied before admissions and the step. */
 struct BatchPlan
 {
+    std::vector<int64_t> preempt;      ///< running -> queued, pages freed
     std::vector<int64_t> admit;        ///< queued -> running, before the step
     std::vector<PrefillChunk> prefill; ///< at most 1 => prefill step
     std::vector<int64_t> decode;       ///< non-empty => decode step
@@ -123,17 +167,25 @@ class Scheduler
     virtual BatchPlan plan(const SchedulerView &view,
                            const SchedulerLimits &limits) = 0;
 
+    /** Whether the policy understands paged KV accounting (plans
+        preemptions on out-of-pages). The simulator refuses to run a
+        paged pool under a reservation-only policy — it would admit
+        against full demands it never holds and then deadlock or
+        over-subscribe. */
+    virtual bool pagedAware() const { return false; }
+
     /** Called at the start of every Simulator::run. */
     virtual void reset() {}
 };
 
 /**
- * First-come-first-served admission with chunked prefill. Admission is
- * strict FCFS: queued requests are admitted in arrival order until one
- * does not fit (no bypass), which keeps per-request wait times
- * predictable and makes back-pressure trivially fair. Prefill runs in
- * chunks of at most `prefill_chunk_tokens`, and the two step kinds
- * interleave according to the mode:
+ * First-come-first-served admission with chunked prefill, in
+ * reservation mode. Admission is strict FCFS: queued requests are
+ * admitted in arrival order until one does not fit (no bypass), which
+ * keeps per-request wait times predictable and makes back-pressure
+ * trivially fair. Prefill runs in chunks of at most
+ * `prefill_chunk_tokens`, and the two step kinds interleave according
+ * to the mode:
  *
  *  - kAlternate (default): when both prefill and decode work is
  *    pending, alternate step kinds so ongoing generations keep making
@@ -164,6 +216,64 @@ class FcfsScheduler : public Scheduler
 
   private:
     Interleave mode_;
+    bool last_step_was_prefill_ = false;
+};
+
+/**
+ * The paged-accounting FCFS baseline: same strict arrival-order
+ * admission and alternate interleaving as FcfsScheduler, but admission
+ * only requires page headroom for the request's prefill target (not its
+ * full demand), so batches run fuller. When the chosen step needs more
+ * pages than the pool has free, the most recently admitted running
+ * request is preempted (LIFO victim order, vLLM's default): the oldest
+ * request is never a victim, which guarantees forward progress.
+ */
+class PagedFcfsScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "fcfs-paged"; }
+
+    BatchPlan plan(const SchedulerView &view,
+                   const SchedulerLimits &limits) override;
+
+    bool pagedAware() const override { return true; }
+
+    void reset() override { last_step_was_prefill_ = false; }
+
+  private:
+    bool last_step_was_prefill_ = false;
+};
+
+/**
+ * Priority/SLO-aware paged policy. Every request's SLO (arrival +
+ * slo_ms, infinity when slo_ms = 0) defines its deadline class, and the
+ * policy maximizes goodput — completions *inside* their SLO per second:
+ *
+ *  - admission: earliest-deadline-first over the queue, with bypass —
+ *    a tight-deadline request overtakes queued requests that do not
+ *    fit or have looser deadlines. Requests whose deadline has already
+ *    passed (serving them adds nothing to goodput) and best-effort
+ *    requests (no SLO to miss) yield to every still-winnable request.
+ *  - preemption: victims are chosen in reverse urgency — already-missed
+ *    deadlines first, then best-effort, then the loosest deadline —
+ *    so freeing pages costs the least goodput. The most urgent running
+ *    request is never preempted, which guarantees forward progress.
+ *  - interleaving: alternate (chunked-prefill fairness), with the most
+ *    urgent prefillable request taking the chunk.
+ */
+class SloScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "slo-paged"; }
+
+    BatchPlan plan(const SchedulerView &view,
+                   const SchedulerLimits &limits) override;
+
+    bool pagedAware() const override { return true; }
+
+    void reset() override { last_step_was_prefill_ = false; }
+
+  private:
     bool last_step_was_prefill_ = false;
 };
 

@@ -19,6 +19,14 @@ limitsFrom(const llm::StepCostModel &costs)
     return limits;
 }
 
+SchedulerLimits
+pagedLimitsFrom(const llm::StepCostModel &costs, int64_t page_tokens)
+{
+    SchedulerLimits limits = limitsFrom(costs);
+    limits.kv_page_tokens = page_tokens;
+    return limits;
+}
+
 Simulator::Simulator(llm::StepCostModel &costs, Scheduler &scheduler,
                      SimOptions options)
     : costs_(costs), scheduler_(scheduler), options_(options)
@@ -29,6 +37,10 @@ Simulator::Simulator(llm::StepCostModel &costs, Scheduler &scheduler,
                    "simulator needs a positive KV capacity");
     TILUS_FATAL_IF(options_.limits.prefill_chunk_tokens < 1,
                    "simulator needs a positive prefill chunk");
+    TILUS_FATAL_IF(options_.limits.paged() && !scheduler_.pagedAware(),
+                   scheduler_.name()
+                       << " does not understand paged KV accounting; "
+                          "use a paged-aware policy or kv_page_tokens=0");
 }
 
 void
@@ -85,7 +97,11 @@ ServingReport
 Simulator::run(const Trace &trace)
 {
     const SchedulerLimits &limits = options_.limits;
+    const bool paged = limits.paged();
     scheduler_.reset();
+    // One pool per run; ids into `states` double as page owners.
+    KvPagePool pool(limits.kv_capacity_tokens,
+                    paged ? limits.kv_page_tokens : 1);
 
     // Request states indexed by position; scheduler ids are indices.
     std::vector<RequestState> states;
@@ -97,6 +113,7 @@ Simulator::run(const Trace &trace)
                                   << " needs positive prompt/output");
         RequestState state;
         state.request = request;
+        state.prefill_target_tokens = request.prompt_tokens;
         states.push_back(state);
     }
     const int64_t total = static_cast<int64_t>(states.size());
@@ -118,20 +135,29 @@ Simulator::run(const Trace &trace)
     report.scheduler = scheduler_.name();
     report.total_requests = total;
     report.batch_histogram.assign(limits.max_batch + 1, 0);
+    report.kv_page_tokens = paged ? limits.kv_page_tokens : 0;
+    report.kv_capacity_tokens =
+        paged ? pool.totalPages() * pool.pageTokens()
+              : limits.kv_capacity_tokens;
 
     std::deque<int64_t> queued;
     std::vector<int64_t> running;
-    int64_t kv_reserved = 0;
+    int64_t kv_reserved = 0;    ///< reservation mode: sum of demands
+    int64_t kv_used_tokens = 0; ///< both modes: materialized KV entries
     int64_t finished = 0;
     double now = 0;
 
     // Submit a request: immediately reject the unservable, queue the
-    // rest. Returns whether the request was queued.
+    // rest. Returns whether the request was queued. In paged mode the
+    // feasibility bound is the pool's whole-page capacity: a request
+    // whose maximal working set cannot be paged can never finish.
+    const int64_t token_cap =
+        paged ? pool.totalPages() * pool.pageTokens()
+              : limits.kv_capacity_tokens;
     const int64_t request_cap =
         limits.max_request_tokens > 0
-            ? std::min(limits.max_request_tokens,
-                       limits.kv_capacity_tokens)
-            : limits.kv_capacity_tokens;
+            ? std::min(limits.max_request_tokens, token_cap)
+            : token_cap;
     auto submit = [&](int64_t id, double at_ms) {
         RequestState &state = states[id];
         state.request.arrival_ms = at_ms;
@@ -161,6 +187,7 @@ Simulator::run(const Trace &trace)
     }
 
     double queue_depth_integral = 0;
+    double kv_used_integral = 0;
     double decode_batch_sum = 0;
     double busy_end_ms = 0; ///< clock after the last engine step
     int64_t safety = 0;
@@ -188,36 +215,84 @@ Simulator::run(const Trace &trace)
         view.states = &states;
         view.queued = &queued;
         view.running = &running;
-        view.kv_reserved_tokens = kv_reserved;
+        view.kv_reserved_tokens = paged ? kv_used_tokens : kv_reserved;
+        view.kv_pool = paged ? &pool : nullptr;
         BatchPlan plan = scheduler_.plan(view, limits);
         TILUS_FATAL_IF(!plan.prefill.empty() && !plan.decode.empty(),
                        scheduler_.name()
                            << " planned prefill and decode in one step");
 
-        // Apply admissions, verifying the policy honoured the limits.
-        for (int64_t id : plan.admit) {
-            TILUS_FATAL_IF(queued.empty() || queued.front() != id,
+        // Apply preemptions first: they free pages the admissions and
+        // the step below may depend on. A preempted request drops its
+        // KV, re-queues at the front, and recomputes the whole context
+        // (prompt + generated so far) on its next admission.
+        TILUS_FATAL_IF(!paged && !plan.preempt.empty(),
+                       scheduler_.name()
+                           << " planned a preemption in reservation mode");
+        // plan.preempt is in victim-preference order (youngest / least
+        // urgent first); pushing front in that order leaves the LAST
+        // victim — the oldest / most urgent — at the queue head, so
+        // same-step victims resume in seniority order.
+        for (int64_t id : plan.preempt) {
+            RequestState &state = states[id];
+            TILUS_FATAL_IF(state.phase != Phase::kPrefill &&
+                               state.phase != Phase::kDecode,
                            scheduler_.name()
-                               << " admitted out of queue order (id " << id
-                               << ")");
-            queued.pop_front();
+                               << " preempted non-running id " << id);
+            auto it = std::find(running.begin(), running.end(), id);
+            TILUS_CHECK(it != running.end());
+            running.erase(it);
+            pool.release(id);
+            kv_used_tokens -= state.kv_tokens;
+            state.kv_tokens = 0;
+            state.prefilled_tokens = 0;
+            state.prefill_target_tokens =
+                state.request.prompt_tokens + state.generated_tokens;
+            state.phase = Phase::kQueued;
+            ++state.preemptions;
+            ++report.preemptions;
+            queued.push_front(id);
+        }
+
+        // Apply admissions, verifying the policy honoured the limits.
+        // Reservation mode keeps the strict front-of-queue audit (its
+        // policies promise FCFS order); paged policies may admit out
+        // of queue order (SLO bypass) but every admitted id must still
+        // come from the queue.
+        for (int64_t id : plan.admit) {
+            auto it = std::find(queued.begin(), queued.end(), id);
+            TILUS_FATAL_IF(it == queued.end(),
+                           scheduler_.name()
+                               << " admitted id " << id
+                               << " that is not queued");
+            TILUS_FATAL_IF(!paged && it != queued.begin(),
+                           scheduler_.name()
+                               << " admitted out of queue order (id "
+                               << id << ")");
+            queued.erase(it);
             RequestState &state = states[id];
             TILUS_CHECK(state.phase == Phase::kQueued);
             state.phase = Phase::kPrefill;
-            state.admitted_ms = now;
+            if (state.admitted_ms < 0)
+                state.admitted_ms = now; // queue wait = first admission
             running.push_back(id);
-            kv_reserved += state.kvDemandTokens();
+            if (!paged)
+                kv_reserved += state.kvDemandTokens();
         }
         TILUS_FATAL_IF(
             static_cast<int64_t>(running.size()) > limits.max_batch,
             scheduler_.name() << " exceeded max_batch: " << running.size());
-        TILUS_FATAL_IF(kv_reserved > limits.kv_capacity_tokens,
+        TILUS_FATAL_IF(!paged && kv_reserved > limits.kv_capacity_tokens,
                        scheduler_.name()
                            << " over-subscribed the KV cache: "
                            << kv_reserved << " > "
                            << limits.kv_capacity_tokens);
 
         if (plan.empty()) {
+            TILUS_FATAL_IF(!plan.preempt.empty() || !plan.admit.empty(),
+                           scheduler_.name()
+                               << " preempted or admitted without "
+                                  "planning a step");
             // Nothing runnable: jump to the next arrival, or fail loudly
             // on a policy deadlock (work exists but none was planned).
             if (!closed_loop && next_arrival < arrival_order.size()) {
@@ -250,18 +325,30 @@ Simulator::run(const Trace &trace)
                 chunk.tokens < 1 ||
                     chunk.tokens > limits.prefill_chunk_tokens ||
                     state.prefilled_tokens + chunk.tokens >
-                        state.request.prompt_tokens,
+                        state.prefill_target_tokens,
                 scheduler_.name() << " planned an invalid chunk of "
                                   << chunk.tokens << " tokens");
+            if (paged)
+                TILUS_FATAL_IF(
+                    !pool.grow(chunk.id,
+                               state.prefilled_tokens + chunk.tokens),
+                    scheduler_.name()
+                        << " ran out of KV pages prefilling request "
+                        << state.request.id
+                        << " without planning a preemption");
             step_ms = prefillCostMs(chunk.tokens, state.prefilled_tokens);
             ++report.prefill_steps;
             state.prefilled_tokens += chunk.tokens;
-            if (state.prefilled_tokens == state.request.prompt_tokens) {
-                // The step that finishes the prompt emits the first
-                // output token (the logits are already computed).
+            state.kv_tokens += chunk.tokens;
+            kv_used_tokens += chunk.tokens;
+            if (state.prefilled_tokens == state.prefill_target_tokens) {
+                // The step that finishes the prompt (or the recompute
+                // after a preemption) emits the next output token — the
+                // logits are already computed.
                 state.phase = Phase::kDecode;
-                state.first_token_ms = now + step_ms;
-                state.generated_tokens = 1;
+                if (state.generated_tokens == 0)
+                    state.first_token_ms = now + step_ms;
+                state.generated_tokens += 1;
                 if (state.generated_tokens == state.request.output_tokens)
                     done.push_back(chunk.id);
             }
@@ -285,6 +372,15 @@ Simulator::run(const Trace &trace)
             for (int64_t id : plan.decode) {
                 RequestState &state = states[id];
                 TILUS_CHECK(state.phase == Phase::kDecode);
+                if (paged)
+                    TILUS_FATAL_IF(
+                        !pool.grow(id, state.kv_tokens + 1),
+                        scheduler_.name()
+                            << " ran out of KV pages decoding request "
+                            << state.request.id
+                            << " without planning a preemption");
+                state.kv_tokens += 1;
+                kv_used_tokens += 1;
                 state.generated_tokens += 1;
                 if (state.generated_tokens == state.request.output_tokens)
                     done.push_back(id);
@@ -293,6 +389,9 @@ Simulator::run(const Trace &trace)
 
         queue_depth_integral +=
             static_cast<double>(queued.size()) * step_ms;
+        kv_used_integral += static_cast<double>(kv_used_tokens) * step_ms;
+        report.peak_kv_used_tokens =
+            std::max(report.peak_kv_used_tokens, kv_used_tokens);
         now += step_ms;
         busy_end_ms = now;
         if (options_.max_sim_ms > 0 && now > options_.max_sim_ms) {
@@ -306,7 +405,13 @@ Simulator::run(const Trace &trace)
             RequestState &state = states[id];
             state.phase = Phase::kFinished;
             state.finish_ms = now;
-            kv_reserved -= state.kvDemandTokens();
+            if (paged) {
+                pool.release(id);
+            } else {
+                kv_reserved -= state.kvDemandTokens();
+            }
+            kv_used_tokens -= state.kv_tokens;
+            state.kv_tokens = 0;
             running.erase(
                 std::find(running.begin(), running.end(), id));
             ++finished;
@@ -315,6 +420,14 @@ Simulator::run(const Trace &trace)
                 injectNext(now);
         }
     }
+
+    // Page accounting must balance: every allocation was returned.
+    TILUS_CHECK_MSG(pool.usedPages() == 0 && kv_used_tokens == 0 &&
+                        (paged || kv_reserved == 0),
+                    "KV accounting leaked: " << pool.usedPages()
+                                             << " pages / "
+                                             << kv_used_tokens
+                                             << " tokens still held");
 
     // ------------------------------------------------------- aggregation
     std::vector<double> ttft, tpot, latency, queue_wait;
@@ -352,6 +465,11 @@ Simulator::run(const Trace &trace)
         report.goodput_req_s =
             static_cast<double>(met_slo) / busy_end_ms * 1000.0;
         report.mean_queue_depth = queue_depth_integral / busy_end_ms;
+        report.mean_kv_used_tokens = kv_used_integral / busy_end_ms;
+        if (report.kv_capacity_tokens > 0)
+            report.mean_kv_used_frac =
+                report.mean_kv_used_tokens /
+                static_cast<double>(report.kv_capacity_tokens);
     }
     if (report.decode_steps > 0)
         report.mean_decode_batch =

@@ -3,7 +3,8 @@
  * The event-driven continuous-batching simulator: a virtual-clock loop
  * that drives a llm::StepCostModel with a Trace of requests under a
  * pluggable Scheduler, tracking every request's lifecycle
- * (queued -> prefill -> decode -> finished) and aggregating the serving
+ * (queued -> prefill -> decode -> finished, with a preemption edge
+ * back to queued in paged-KV mode) and aggregating the serving
  * metrics of metrics.h. Time advances only by engine-step costs
  * (decodeMs / prefillMs) and by idle jumps to the next arrival, so runs
  * are exactly reproducible from the trace alone.
@@ -43,8 +44,16 @@ struct SimOptions
 };
 
 /** Derive scheduler limits from an engine's construction-time
-    reservation; chunk size stays at the SchedulerLimits default. */
+    reservation; chunk size stays at the SchedulerLimits default.
+    KV accounting is reservation mode (kv_page_tokens = 0). */
 SchedulerLimits limitsFrom(const llm::StepCostModel &costs);
+
+/** Same limits with paged KV accounting: the engine's reservation is
+    carved into pages of @p page_tokens handed out on demand (see
+    kv_pool.h). Requires a paged-aware policy (PagedFcfsScheduler,
+    SloScheduler, or any Scheduler that plans preemptions). */
+SchedulerLimits pagedLimitsFrom(const llm::StepCostModel &costs,
+                                int64_t page_tokens = kDefaultKvPageTokens);
 
 /** The continuous-batching event loop. One instance may run many traces;
     engine-side step-cost caches persist across runs. */

@@ -7,6 +7,12 @@
  * exact lifecycle timestamps against a hand-computed schedule. A
  * synthetic StepCostModel with linear costs keeps every test instant
  * and makes expected timings computable by hand.
+ *
+ * The paged-KV section covers KvPagePool accounting, out-of-pages
+ * preemption (never OOM), recompute-on-resume TTFT/TPOT accounting,
+ * occupancy gains over whole-request reservation, the SLO policy's
+ * goodput edge, and the golden ServingReport JSON schema that
+ * BENCH_serving.json consumers rely on.
  */
 #include <gtest/gtest.h>
 
@@ -20,11 +26,15 @@ namespace {
 
 using serving::BatchPlan;
 using serving::FcfsScheduler;
+using serving::KvPagePool;
+using serving::LatencySummary;
+using serving::PagedFcfsScheduler;
 using serving::Phase;
 using serving::RequestState;
 using serving::ServingReport;
 using serving::SimOptions;
 using serving::Simulator;
+using serving::SloScheduler;
 using serving::Trace;
 using serving::TraceOptions;
 
@@ -516,6 +526,325 @@ TEST(Report, JsonContainsEveryHeadlineMetric)
         EXPECT_NE(json.find(key), std::string::npos) << key;
     // Every request met the (absurdly lax) SLO.
     EXPECT_DOUBLE_EQ(report.goodput_req_s, report.request_per_s);
+}
+
+// ------------------------------------------------------------ paged KV
+
+SimOptions
+pagedExactOptions(const llm::StepCostModel &costs, int64_t page_tokens)
+{
+    SimOptions options;
+    options.limits = serving::pagedLimitsFrom(costs, page_tokens);
+    options.prefill_cost_bucket = 0;
+    options.decode_cost_pow2 = false;
+    return options;
+}
+
+TEST(KvPagePool, AccountingBasics)
+{
+    KvPagePool pool(100, 16); // 6 whole pages, partial page dropped
+    EXPECT_EQ(pool.totalPages(), 6);
+    EXPECT_EQ(pool.pageTokens(), 16);
+    EXPECT_EQ(pool.freePages(), 6);
+    EXPECT_EQ(pool.pagesForTokens(0), 0);
+    EXPECT_EQ(pool.pagesForTokens(1), 1);
+    EXPECT_EQ(pool.pagesForTokens(16), 1);
+    EXPECT_EQ(pool.pagesForTokens(17), 2);
+
+    // Growth covers tokens at page granularity, never shrinks.
+    EXPECT_TRUE(pool.grow(7, 20)); // 2 pages
+    EXPECT_EQ(pool.pagesHeld(7), 2);
+    EXPECT_EQ(pool.freePages(), 4);
+    EXPECT_TRUE(pool.grow(7, 10)); // no-op: already covered
+    EXPECT_EQ(pool.pagesHeld(7), 2);
+    EXPECT_TRUE(pool.grow(8, 64)); // 4 pages: pool now full
+    EXPECT_EQ(pool.freePages(), 0);
+
+    // Exhaustion is a refusal, not a crash, and leaves the pool as-is.
+    EXPECT_FALSE(pool.grow(7, 33));
+    EXPECT_EQ(pool.pagesHeld(7), 2);
+    EXPECT_EQ(pool.usedPages(), 6);
+
+    // Release returns every page; page ids recycle deterministically.
+    const std::vector<int64_t> first = pool.pageList(7);
+    pool.release(7);
+    EXPECT_EQ(pool.freePages(), 2);
+    EXPECT_TRUE(pool.grow(9, 32));
+    EXPECT_EQ(pool.pageList(9), first);
+    pool.release(8);
+    pool.release(9);
+    EXPECT_EQ(pool.usedPages(), 0);
+    pool.release(123); // unknown owner: no-op
+    EXPECT_EQ(pool.freePages(), 6);
+}
+
+TEST(PagedSimulator, ReservationPolicyRefusedOnPagedLimits)
+{
+    // A reservation-mode policy admits against demands it never holds;
+    // running it over a page pool must fail at construction, loudly.
+    FakeCost costs(4096, 8);
+    FcfsScheduler scheduler;
+    EXPECT_THROW(
+        Simulator(costs, scheduler, pagedExactOptions(costs, 16)),
+        FatalError);
+}
+
+TEST(PagedSimulator, ExhaustionPreemptsInsteadOfOom)
+{
+    // 10 pages of 16 tokens. Each request peaks at 83 KV entries
+    // (6 pages), so two concurrent requests eventually need 12 pages:
+    // the pool must run dry mid-decode and recover by preemption.
+    FakeCost costs(160, 2);
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 64, 20, 0});
+    trace.requests.push_back({1, 0.0, 64, 20, 0});
+
+    PagedFcfsScheduler scheduler;
+    Simulator simulator(costs, scheduler, pagedExactOptions(costs, 16));
+    ServingReport report;
+    ASSERT_NO_THROW(report = simulator.run(trace));
+    EXPECT_EQ(report.completed, 2);
+    EXPECT_EQ(report.rejected, 0);
+    EXPECT_GE(report.preemptions, 1);
+    // LIFO victims: the older request is never evicted.
+    EXPECT_EQ(report.requests[0].preemptions, 0);
+    EXPECT_GE(report.requests[1].preemptions, 1);
+    EXPECT_EQ(report.output_tokens, 40); // nothing lost to preemption
+    EXPECT_LT(report.requests[0].finish_ms, report.requests[1].finish_ms);
+
+    // TTFT anchors to the FIRST emission, before any preemption: the
+    // opening schedule is hand-computable (prefill A 0.64 ms, decode A
+    // 1.1 ms, prefill B 0.64 ms).
+    EXPECT_DOUBLE_EQ(report.requests[0].first_token_ms, 0.64);
+    EXPECT_DOUBLE_EQ(report.requests[1].first_token_ms, 2.38);
+}
+
+TEST(PagedSimulator, PreemptedRequestAbsorbsStallIntoTpot)
+{
+    // The same two-request overcommit, against an ample-pool control
+    // run: the preempted request's TTFT is identical (first emission
+    // already happened), the recompute stall shows up purely as TPOT.
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 64, 20, 0});
+    trace.requests.push_back({1, 0.0, 64, 20, 0});
+
+    FakeCost tight(160, 2);
+    PagedFcfsScheduler sched_tight;
+    Simulator sim_tight(tight, sched_tight, pagedExactOptions(tight, 16));
+    ServingReport preempted = sim_tight.run(trace);
+    ASSERT_GE(preempted.preemptions, 1);
+
+    FakeCost ample(4096, 2);
+    PagedFcfsScheduler sched_ample;
+    Simulator sim_ample(ample, sched_ample, pagedExactOptions(ample, 16));
+    ServingReport smooth = sim_ample.run(trace);
+    ASSERT_EQ(smooth.preemptions, 0);
+
+    EXPECT_DOUBLE_EQ(preempted.requests[1].first_token_ms,
+                     smooth.requests[1].first_token_ms);
+    const auto tpotOf = [](const ServingReport &r, size_t i) {
+        return (r.requests[i].finish_ms - r.requests[i].first_token_ms) /
+               double(r.requests[i].request.output_tokens - 1);
+    };
+    EXPECT_GT(tpotOf(preempted, 1), tpotOf(smooth, 1));
+    EXPECT_EQ(preempted.requests[1].generated_tokens, 20);
+}
+
+TEST(PagedSimulator, AccountingBalancesAfterEveryTrace)
+{
+    // Stress both paged policies over bursty overcommitted traces; the
+    // simulator CHECK-fails the run if any page or KV token leaks, so
+    // surviving the sweep proves the accounting balances to zero.
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+        TraceOptions options;
+        options.num_requests = 60;
+        options.rate_rps = 400.0;
+        options.prompt_min = 32;
+        options.prompt_max = 200;
+        options.output_min = 16;
+        options.output_max = 96;
+        options.slo_ms = 40.0;
+        options.seed = seed;
+        Trace trace = serving::burstyTrace(options, 12);
+
+        FakeCost costs(1024, 8); // 64 pages: heavy overcommit
+        PagedFcfsScheduler fcfs;
+        Simulator sim_fcfs(costs, fcfs, pagedExactOptions(costs, 16));
+        ServingReport a;
+        ASSERT_NO_THROW(a = sim_fcfs.run(trace)) << "seed " << seed;
+        EXPECT_EQ(a.completed + a.rejected, options.num_requests);
+
+        SloScheduler slo;
+        Simulator sim_slo(costs, slo, pagedExactOptions(costs, 16));
+        ServingReport b;
+        ASSERT_NO_THROW(b = sim_slo.run(trace)) << "seed " << seed;
+        EXPECT_EQ(b.completed + b.rejected, options.num_requests);
+    }
+}
+
+TEST(PagedSimulator, DeterministicReplay)
+{
+    FakeCost costs(2048, 8);
+    TraceOptions options;
+    options.num_requests = 80;
+    options.rate_rps = 120.0;
+    options.seed = 5;
+    options.prompt_max = 256;
+    options.slo_ms = 300.0;
+    Trace trace = serving::poissonTrace(options);
+
+    PagedFcfsScheduler sched_a, sched_b;
+    Simulator sim_a(costs, sched_a, pagedExactOptions(costs, 16));
+    Simulator sim_b(costs, sched_b, pagedExactOptions(costs, 16));
+    EXPECT_EQ(sim_a.run(trace).toJson(), sim_b.run(trace).toJson());
+}
+
+TEST(PagedSimulator, PagedRaisesOccupancyOverReservation)
+{
+    // Equal traffic, equal capacity: whole-request reservation leaves
+    // KV idle for output tokens not yet generated, paged admission
+    // converts that headroom into batch and KV occupancy.
+    FakeCost costs(1600, 16);
+    TraceOptions options;
+    options.num_requests = 48;
+    options.rate_rps = 150.0;
+    options.prompt_min = 64;
+    options.prompt_max = 128;
+    options.output_min = 64;
+    options.output_max = 128;
+    options.seed = 11;
+    Trace trace = serving::poissonTrace(options);
+
+    FcfsScheduler reserve;
+    SimOptions reserve_options = exactOptions(costs);
+    Simulator sim_reserve(costs, reserve, reserve_options);
+    ServingReport base = sim_reserve.run(trace);
+
+    PagedFcfsScheduler paged;
+    Simulator sim_paged(costs, paged, pagedExactOptions(costs, 16));
+    ServingReport pg = sim_paged.run(trace);
+
+    EXPECT_EQ(base.completed, 48);
+    EXPECT_EQ(pg.completed, 48);
+    EXPECT_GT(pg.mean_decode_batch, base.mean_decode_batch);
+    EXPECT_GT(pg.mean_kv_used_frac, base.mean_kv_used_frac);
+    EXPECT_GT(pg.peak_kv_used_tokens, base.peak_kv_used_tokens);
+}
+
+TEST(SloScheduler, TightDeadlineBypassesLooseQueueHead)
+{
+    // One slot: the best-effort giant is at the queue head when a
+    // tight-SLO request arrives. EDF admission lets the tight one
+    // overtake; paged FCFS would serve strictly in arrival order.
+    FakeCost costs(4096, 1);
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 400, 200, 0});   // best effort
+    trace.requests.push_back({1, 0.0, 40, 4, 100.0});  // tight SLO
+
+    SloScheduler slo;
+    Simulator sim(costs, slo, pagedExactOptions(costs, 16));
+    ServingReport report = sim.run(trace);
+    ASSERT_EQ(report.completed, 2);
+    EXPECT_LT(report.requests[1].finish_ms, report.requests[0].finish_ms);
+    EXPECT_LE(report.requests[1].finish_ms, 100.0); // SLO met
+
+    PagedFcfsScheduler fcfs;
+    Simulator sim_fcfs(costs, fcfs, pagedExactOptions(costs, 16));
+    ServingReport base = sim_fcfs.run(trace);
+    ASSERT_EQ(base.completed, 2);
+    EXPECT_GT(base.requests[1].finish_ms, 100.0); // SLO missed
+}
+
+TEST(SloScheduler, BeatsPagedFcfsGoodputOnBurstyTrace)
+{
+    // A burst of mixed deadline classes: FCFS interleaves tight and
+    // best-effort work in arrival order and misses deadlines across
+    // the board; the SLO policy front-loads the winnable ones.
+    FakeCost costs(2048, 8);
+    TraceOptions options;
+    options.num_requests = 40;
+    options.rate_rps = 300.0;
+    options.prompt_min = 48;
+    options.prompt_max = 160;
+    options.output_min = 16;
+    options.output_max = 48;
+    options.seed = 21;
+    Trace trace = serving::burstyTrace(options, 10);
+    for (size_t i = 0; i < trace.requests.size(); ++i)
+        trace.requests[i].slo_ms = (i % 2 == 0) ? 120.0 : 0.0;
+
+    PagedFcfsScheduler fcfs;
+    Simulator sim_fcfs(costs, fcfs, pagedExactOptions(costs, 16));
+    ServingReport base = sim_fcfs.run(trace);
+
+    SloScheduler slo;
+    Simulator sim_slo(costs, slo, pagedExactOptions(costs, 16));
+    ServingReport tuned = sim_slo.run(trace);
+
+    EXPECT_EQ(base.completed, 40);
+    EXPECT_EQ(tuned.completed, 40);
+    EXPECT_GT(tuned.goodput_req_s, base.goodput_req_s);
+}
+
+TEST(Report, GoldenJsonSchemaIsPinned)
+{
+    // BENCH_serving.json consumers parse this schema; field names,
+    // order, and number formatting (%.6g) are part of the contract
+    // documented in src/serving/README.md. Touching toJson() means
+    // updating the doc, this literal, and downstream consumers.
+    ServingReport report;
+    report.scheduler = "golden";
+    report.system = "tilus";
+    report.model = "m";
+    report.wdtype = "u4";
+    report.rate_rps = 4;
+    report.seed = 7;
+    report.total_requests = 2;
+    report.completed = 2;
+    report.rejected = 0;
+    report.prompt_tokens = 100;
+    report.output_tokens = 10;
+    report.prefill_steps = 2;
+    report.decode_steps = 8;
+    report.preemptions = 1;
+    report.makespan_ms = 12.5;
+    report.throughput_tok_s = 800;
+    report.request_per_s = 160;
+    report.goodput_req_s = 160;
+    const LatencySummary summary = {2, 1.5, 1.5, 2.0, 2.25};
+    report.ttft = summary;
+    report.tpot = summary;
+    report.latency = summary;
+    report.queue_wait = summary;
+    report.mean_queue_depth = 0.25;
+    report.max_queue_depth = 3;
+    report.mean_decode_batch = 1.75;
+    report.kv_page_tokens = 16;
+    report.kv_capacity_tokens = 256;
+    report.mean_kv_used_tokens = 128;
+    report.peak_kv_used_tokens = 200;
+    report.mean_kv_used_frac = 0.5;
+    report.batch_histogram = {0, 4, 2, 2};
+
+    EXPECT_EQ(
+        report.toJson(),
+        "{\"scheduler\":\"golden\",\"system\":\"tilus\",\"model\":\"m\","
+        "\"wdtype\":\"u4\",\"rate_rps\":4,\"seed\":7,"
+        "\"total_requests\":2,\"completed\":2,\"rejected\":0,"
+        "\"prompt_tokens\":100,\"output_tokens\":10,\"prefill_steps\":2,"
+        "\"decode_steps\":8,\"preemptions\":1,\"makespan_ms\":12.5,"
+        "\"throughput_tok_s\":800,\"request_per_s\":160,"
+        "\"goodput_req_s\":160,"
+        "\"ttft_ms\":{\"mean\":1.5,\"p50\":1.5,\"p95\":2,\"p99\":2.25},"
+        "\"tpot_ms\":{\"mean\":1.5,\"p50\":1.5,\"p95\":2,\"p99\":2.25},"
+        "\"latency_ms\":{\"mean\":1.5,\"p50\":1.5,\"p95\":2,\"p99\":2.25},"
+        "\"queue_wait_ms\":{\"mean\":1.5,\"p50\":1.5,\"p95\":2,"
+        "\"p99\":2.25},"
+        "\"mean_queue_depth\":0.25,\"max_queue_depth\":3,"
+        "\"mean_decode_batch\":1.75,\"kv_page_tokens\":16,"
+        "\"kv_capacity_tokens\":256,\"mean_kv_used_tokens\":128,"
+        "\"peak_kv_used_tokens\":200,\"mean_kv_used_frac\":0.5,"
+        "\"batch_histogram\":[0,4,2,2]}");
 }
 
 } // namespace

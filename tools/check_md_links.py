@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans every tracked *.md file under the repo root (skipping build
+artifacts) for inline links/images `[text](target)` and verifies that
+each relative target exists on disk, resolved against the file that
+contains it. External schemes (http/https/mailto) and pure-anchor
+links are ignored; a `#fragment` suffix on a file link is stripped
+before the existence check.
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken
+link is reported as `file:line: target`). Run from anywhere:
+
+    python3 tools/check_md_links.py [repo_root]
+"""
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", ".cache", "node_modules"}
+# Inline links/images. [text](target "title") keeps only the target.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, mailto:, …
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as fh:
+        in_fence = False
+        for lineno, line in enumerate(fh, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if EXTERNAL_RE.match(target) or target.startswith("#"):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target))
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, root)
+                    broken.append((rel, lineno, match.group(1)))
+    return broken
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1
+                           else os.path.join(os.path.dirname(__file__),
+                                             os.pardir))
+    broken = []
+    checked = 0
+    for path in markdown_files(root):
+        checked += 1
+        broken.extend(check_file(path, root))
+    if broken:
+        for rel, lineno, target in broken:
+            print(f"{rel}:{lineno}: broken link -> {target}")
+        print(f"\n{len(broken)} broken link(s) across {checked} "
+              "markdown file(s)", file=sys.stderr)
+        return 1
+    print(f"ok: all intra-repo links resolve ({checked} markdown "
+          "file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
