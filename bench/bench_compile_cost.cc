@@ -38,6 +38,8 @@
 #include "cache/serialize.h"
 #include "cache/tune_db.h"
 #include "llm/engine.h"
+#include "obs/build_info.h"
+#include "obs/metrics.h"
 #include "sim/gpu_spec.h"
 
 using namespace tilus;
@@ -205,7 +207,8 @@ main(int argc, char **argv)
                                        tstats.disk_errors));
 
     std::ostringstream json;
-    json << "{\"bench\":\"compile\",\"gpu\":\"L40S\""
+    json << "{\"bench\":\"compile\",\"build_info\":"
+         << obs::buildInfoJson() << ",\"gpu\":\"L40S\""
          << ",\"compile_threads\":" << cache::compileThreads()
          << ",\"phase_ms\":{"
          << "\"build\":" << build_ms << ",\"compile\":" << compile_ms
@@ -243,12 +246,26 @@ main(int argc, char **argv)
 
     // Regression gate: a warm tune pass must be at least 5x faster than
     // cold (in practice it is orders of magnitude — the database hit
-    // skips enumeration and compilation entirely).
-    if (engine_speedup < 5.0) {
+    // skips enumeration and compilation entirely). The line prints on
+    // success too, with the registry's warm/cold split as evidence.
+    const double gate = 5.0;
+    const obs::Registry &registry = obs::Registry::instance();
+    std::printf("gate %s: warm/cold engine tune speedup = %.1fx "
+                "(threshold %.0fx, margin %.1fx; registry: %lld warm / "
+                "%lld cold sweeps, %lld compiles)\n",
+                engine_speedup >= gate ? "PASS" : "FAIL", engine_speedup,
+                gate, engine_speedup - gate,
+                static_cast<long long>(
+                    registry.counterValue("tune_sweeps_warm_total")),
+                static_cast<long long>(
+                    registry.counterValue("tune_sweeps_cold_total")),
+                static_cast<long long>(
+                    registry.counterValue("compiler_compiles_total")));
+    if (engine_speedup < gate) {
         std::fprintf(stderr,
                      "error: warm engine tune pass only %.1fx faster "
-                     "than cold (gate: 5x)\n",
-                     engine_speedup);
+                     "than cold (gate: %.0fx)\n",
+                     engine_speedup, gate);
         return 1;
     }
     return 0;

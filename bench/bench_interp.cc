@@ -24,6 +24,8 @@
 #include <sstream>
 
 #include "bench_common.h"
+#include "obs/build_info.h"
+#include "obs/metrics.h"
 #include "opt/oracle.h"
 #include "sim/interpreter.h"
 #include "sim/microop.h"
@@ -165,7 +167,8 @@ main(int argc, char **argv)
     }
 
     std::ostringstream json;
-    json << "{\"bench\":\"interp\",\"m\":" << m << ",\"runs\":[\n";
+    json << "{\"bench\":\"interp\",\"build_info\":"
+         << obs::buildInfoJson() << ",\"m\":" << m << ",\"runs\":[\n";
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &row = rows[i];
         json << "  {\"kernel\":\"" << row.name << "\""
@@ -196,6 +199,19 @@ main(int argc, char **argv)
         std::printf("\n%s", json.str().c_str());
     }
 
+    // The gate line prints on success too, so a green CI log still
+    // shows what was checked and with how much margin. Fallback counts
+    // come from the metrics registry the simulator itself increments.
+    const obs::Registry &registry = obs::Registry::instance();
+    std::printf("gate %s: microop fallbacks = %lld (threshold 0, "
+                "registry sim_microop_fallbacks_total over %lld runs), "
+                "divergence = %s (threshold none)\n",
+                failed ? "FAIL" : "PASS",
+                static_cast<long long>(registry.counterValue(
+                    "sim_microop_fallbacks_total")),
+                static_cast<long long>(
+                    registry.counterValue("sim_runs_total")),
+                failed ? "seen" : "none");
     if (failed) {
         std::fprintf(stderr, "\nerror: micro-op engine diverged or fell "
                              "back on a covered kernel\n");

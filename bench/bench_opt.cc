@@ -15,6 +15,8 @@
 #include <sstream>
 
 #include "bench_common.h"
+#include "obs/build_info.h"
+#include "obs/metrics.h"
 #include "opt/pass_manager.h"
 #include "sim/gpu_spec.h"
 #include "sim/interpreter.h"
@@ -152,8 +154,8 @@ main(int argc, char **argv)
     }
 
     std::ostringstream json;
-    json << "{\"bench\":\"opt\",\"gpu\":\"L40S\",\"m\":" << m
-         << ",\"runs\":[\n";
+    json << "{\"bench\":\"opt\",\"build_info\":" << obs::buildInfoJson()
+         << ",\"gpu\":\"L40S\",\"m\":" << m << ",\"runs\":[\n";
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &row = rows[i];
         json << "  {\"kernel\":\"" << row.name << "\",\"o0_total_us\":"
@@ -178,6 +180,31 @@ main(int argc, char **argv)
         std::printf("\nwrote %s\n", argv[1]);
     } else {
         std::printf("\n%s", json.str().c_str());
+    }
+
+    // Self-gate on the headline kernel (stage-1 u4: the one the
+    // software-pipelining pass exists for): O2 must pipeline it and win
+    // by a clear margin. Recorded history is 2.4x+, so 1.5x only trips
+    // on a real regression. The line prints on success too.
+    const Row &headline = rows.front();
+    const double speedup = headline.o0.total_us / headline.o2.total_us;
+    const double threshold = 1.5;
+    const bool pass = speedup >= threshold && headline.o2.pipelined;
+    std::printf("\ngate %s: %s O0/O2 speedup = %.2fx (threshold "
+                "%.1fx, margin %+.2fx), o2_pipelined = %s "
+                "(registry: %lld passes run, %lld changed)\n",
+                pass ? "PASS" : "FAIL", headline.name.c_str(), speedup,
+                threshold, speedup - threshold,
+                headline.o2.pipelined ? "true" : "false",
+                static_cast<long long>(
+                    obs::Registry::instance().counterValue(
+                        "opt_passes_run_total")),
+                static_cast<long long>(
+                    obs::Registry::instance().counterValue(
+                        "opt_passes_changed_total")));
+    if (!pass) {
+        std::fprintf(stderr, "error: pass-pipeline speedup regressed\n");
+        return 1;
     }
     return 0;
 }

@@ -33,6 +33,7 @@
 
 #include "bench_common.h"
 #include "llm/engine.h"
+#include "obs/build_info.h"
 #include "serving/simulator.h"
 #include "sim/gpu_spec.h"
 
@@ -270,7 +271,8 @@ main(int argc, char **argv)
                 kSloMs, kTightSloMs, (unsigned long long)kSeed);
 
     std::ostringstream json;
-    json << "{\"bench\":\"serving\",\"gpu\":\"L40S\",\"seed\":" << kSeed
+    json << "{\"bench\":\"serving\",\"build_info\":"
+         << obs::buildInfoJson() << ",\"gpu\":\"L40S\",\"seed\":" << kSeed
          << ",\"slo_ms\":" << kSloMs
          << ",\"tight_slo_ms\":" << kTightSloMs << ",\"runs\":[\n";
     for (size_t i = 0; i < reports.size(); ++i)

@@ -9,8 +9,17 @@
  * finally rerun with paged KV accounting on a deliberately tight page
  * pool so out-of-pages preemption (evict, re-queue, recompute on
  * resume) shows up in the lifecycle table.
+ *
+ * Run with TILUS_TRACE=/tmp/serving.json to record the whole walk as a
+ * Chrome trace-event document (load it at https://ui.perfetto.dev):
+ * compile/opt/autotune/cache spans on the wall-clock track, plus one
+ * virtual-clock process per simulator run with per-request lifecycle
+ * tracks and the KV-pool occupancy counter. The engine uses a compact
+ * demo tuning space so a cold-cache run stays short; drop the override
+ * to sweep the paper's full space.
  */
 #include <cstdio>
+#include <cstdlib>
 
 #include "llm/engine.h"
 #include "serving/simulator.h"
@@ -61,9 +70,24 @@ int
 main()
 {
     runtime::Runtime rt(sim::l40s());
+
+    // Compact tuning space: enough shape diversity to exercise the
+    // tensor-core and SIMT template families, small enough that a
+    // cold-cache run (fresh TILUS_CACHE_DIR) finishes in seconds
+    // instead of sweeping the paper's ~200-candidate space per matmul.
+    autotune::TuneSpace demo_space;
+    demo_space.bm_tc = {16, 64};
+    demo_space.bn = {128};
+    demo_space.bk = {64};
+    demo_space.warps_m = {1};
+    demo_space.warps_n = {4};
+    demo_space.simt_warps = {4};
+    demo_space.stages = {2, 3};
+
     llm::EngineOptions engine_options;
     engine_options.system = baselines::System::kTilus;
     engine_options.wdtype = uint4();
+    engine_options.tune_space = &demo_space;
     llm::ServingEngine engine(rt, llm::gemma2_9b(), engine_options);
     std::printf("engine: %s, %s weights, KV capacity %ld tokens, max "
                 "batch %ld\n",
@@ -117,5 +141,13 @@ main()
                                        paged_options);
     printReport(
         paged_simulator.run(serving::burstyTrace(burst_options, 6)));
+
+    if (const char *trace = std::getenv("TILUS_TRACE"); trace && *trace)
+        std::printf("\ntrace will be written to %s at exit; load it at "
+                    "https://ui.perfetto.dev\n",
+                    trace);
+    else
+        std::printf("\ntip: rerun with TILUS_TRACE=/tmp/serving.json to "
+                    "record a Perfetto-loadable trace\n");
     return 0;
 }

@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "cache/compile_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/interpreter.h"
 #include "support/error.h"
 #include "support/math_util.h"
@@ -226,13 +228,23 @@ sweepCached(runtime::Runtime &rt, const SweepRequest &req,
     if (!db)
         db = &cache::TuneDb::instance();
     const cache::Fingerprint key = tuneKey(req, rt.spec());
+    obs::Span sweep_span("autotune", "sweep");
+    sweep_span.arg("key", key.hex())
+        .arg("wdtype", req.wdtype.name())
+        .arg("n", req.n)
+        .arg("k", req.k)
+        .arg("m", req.m);
     if (std::optional<cache::TuneRecord> record = db->load(key)) {
+        obs::Registry::instance().counter("tune_sweeps_warm_total").add();
+        sweep_span.arg("db", "warm");
         TuneResult hit;
         hit.config = record->config;
         hit.latency = record->latency;
         hit.candidates_tried = record->candidates_tried;
         return hit;
     }
+    obs::Registry::instance().counter("tune_sweeps_cold_total").add();
+    sweep_span.arg("db", "cold");
 
     std::vector<kernels::MatmulConfig> candidates;
     for (kernels::MatmulConfig cfg :
@@ -268,14 +280,26 @@ sweepCached(runtime::Runtime &rt, const SweepRequest &req,
                             req.opts);
         });
 
+    obs::Registry::instance()
+        .counter("tune_candidates_total")
+        .add(static_cast<int64_t>(candidates.size()));
     for (const kernels::MatmulConfig &cfg : candidates) {
+        obs::Span candidate_span("autotune", "candidate");
+        if (candidate_span.live())
+            candidate_span.arg("config", cfg.name()).arg("m", req.m);
         sim::LatencyBreakdown est =
             estimateConfig(rt, cfg, req.m, req.opts, req.traits);
+        candidate_span.arg("estimated_us", est.total_us);
         if (est.total_us < best.latency.total_us) {
             best.latency = est;
             best.config = cfg;
         }
     }
+    if (sweep_span.live())
+        sweep_span.arg("best_config", best.config.name())
+            .arg("best_us", best.latency.total_us)
+            .arg("candidates",
+                 static_cast<int64_t>(best.candidates_tried));
 
     cache::TuneRecord record;
     record.config = best.config;

@@ -135,7 +135,8 @@ systemSpace(System system)
 EvalResult
 evaluateMatmul(System system, runtime::Runtime &rt, DataType wdtype,
                int64_t n, int64_t k, int64_t m, int64_t group_size,
-               compiler::OptLevel opt_level)
+               compiler::OptLevel opt_level,
+               const autotune::TuneSpace *space)
 {
     EvalResult result;
     if (system == System::kCublas)
@@ -169,7 +170,7 @@ evaluateMatmul(System system, runtime::Runtime &rt, DataType wdtype,
     req.convert_via_smem = (system == System::kTriton); // Fig. 1(a) step 4
     req.opts = opts;
     req.traits = systemTraits(system);
-    req.space = systemSpace(system);
+    req.space = space != nullptr ? *space : systemSpace(system);
     autotune::TuneResult tuned = autotune::sweepCached(rt, req);
     if (!std::isfinite(tuned.latency.total_us)) {
         result.reason = "no valid configuration";

@@ -73,12 +73,19 @@ sim::PerfTraits systemTraits(System system);
  * @p opt_level pins the LIR pass-pipeline level of every compiled
  * candidate (default O2); pinning O0 reproduces the pre-optimizer
  * numbers for ablations.
+ *
+ * @p space, when non-null, replaces the system's default tuning space —
+ * demos and traced runs use a compact space to keep cold-cache sweeps
+ * short. The space is part of the tune key, so an override never
+ * aliases the full-space results in the autotune database. nullptr
+ * (the default) keeps the paper's per-system spaces and tune keys.
  */
 EvalResult evaluateMatmul(System system, runtime::Runtime &rt,
                           DataType wdtype, int64_t n, int64_t k, int64_t m,
                           int64_t group_size = 0,
                           compiler::OptLevel opt_level =
-                              compiler::OptLevel::O2);
+                              compiler::OptLevel::O2,
+                          const autotune::TuneSpace *space = nullptr);
 
 } // namespace baselines
 } // namespace tilus

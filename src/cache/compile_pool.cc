@@ -6,6 +6,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tilus {
 namespace cache {
 
@@ -31,6 +34,9 @@ parallelFor(int64_t n, const std::function<void(int64_t)> &fn,
         threads = compileThreads();
     if (n <= 0)
         return;
+    obs::Registry::instance().counter("compile_pool_tasks_total").add(n);
+    obs::Span span("cache", "compile-pool");
+    span.arg("tasks", n).arg("threads", static_cast<int64_t>(threads));
     if (threads == 1 || n == 1) {
         for (int64_t i = 0; i < n; ++i)
             fn(i);
@@ -38,6 +44,12 @@ parallelFor(int64_t n, const std::function<void(int64_t)> &fn,
     }
     if (static_cast<int64_t>(threads) > n)
         threads = static_cast<int>(n);
+
+    // Queue depth: tasks not yet claimed by a worker. Sampled by the
+    // metrics dump; the gauge intentionally ends at 0.
+    obs::Gauge &depth =
+        obs::Registry::instance().gauge("compile_pool_queue_depth");
+    depth.set(static_cast<double>(n));
 
     std::atomic<int64_t> next{0};
     std::atomic<bool> failed{false};
@@ -49,6 +61,7 @@ parallelFor(int64_t n, const std::function<void(int64_t)> &fn,
             int64_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
                 return;
+            depth.set(static_cast<double>(n - 1 - i > 0 ? n - 1 - i : 0));
             try {
                 fn(i);
             } catch (...) {
@@ -67,6 +80,7 @@ parallelFor(int64_t n, const std::function<void(int64_t)> &fn,
         pool.emplace_back(worker);
     for (std::thread &t : pool)
         t.join();
+    depth.set(0);
     if (first_error)
         std::rethrow_exception(first_error);
 }

@@ -4,6 +4,8 @@
 
 #include "cache/blob_store.h"
 #include "cache/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace tilus {
@@ -45,7 +47,14 @@ KernelCache::entryPath(const Fingerprint &fp) const
 std::unique_ptr<lir::Kernel>
 KernelCache::load(const Fingerprint &fp, uint32_t version)
 {
-    auto miss = [this] {
+    obs::Span span("cache", "kernel-cache-load");
+    if (span.live())
+        span.arg("fingerprint", fp.hex());
+    auto miss = [this, &span] {
+        obs::Registry::instance()
+            .counter("kernel_cache_disk_miss_total")
+            .add();
+        span.arg("outcome", "miss");
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.disk_misses;
         return nullptr;
@@ -63,6 +72,10 @@ KernelCache::load(const Fingerprint &fp, uint32_t version)
         try {
             auto kernel =
                 std::make_unique<lir::Kernel>(deserializeKernel(payload));
+            obs::Registry::instance()
+                .counter("kernel_cache_disk_hit_total")
+                .add();
+            span.arg("outcome", "hit");
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.disk_hits;
             return kernel;
@@ -72,6 +85,10 @@ KernelCache::load(const Fingerprint &fp, uint32_t version)
         break;
     }
     warn("kernel cache entry " + fp.hex() + " rejected: " + why);
+    obs::Registry::instance()
+        .counter("kernel_cache_disk_error_total")
+        .add();
+    span.arg("outcome", "error");
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.disk_errors;
     return nullptr;
@@ -86,6 +103,7 @@ KernelCache::store(const Fingerprint &fp, const lir::Kernel &kernel,
     if (!writeBlobAtomic(entryPath(fp), kMagic, version,
                          serializeKernel(kernel)))
         return;
+    obs::Registry::instance().counter("kernel_cache_store_total").add();
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.stores;
 }

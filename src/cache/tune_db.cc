@@ -5,6 +5,8 @@
 
 #include "cache/blob_store.h"
 #include "cache/codec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace tilus {
@@ -148,7 +150,12 @@ TuneDb::entryPath(const Fingerprint &key) const
 std::optional<TuneRecord>
 TuneDb::load(const Fingerprint &key)
 {
-    auto miss = [this] {
+    obs::Span span("cache", "tune-db-load");
+    if (span.live())
+        span.arg("key", key.hex());
+    auto miss = [this, &span]() -> std::optional<TuneRecord> {
+        obs::Registry::instance().counter("tune_db_cold_total").add();
+        span.arg("outcome", "cold");
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.disk_misses;
         return std::nullopt;
@@ -164,6 +171,10 @@ TuneDb::load(const Fingerprint &key)
         break; // rejected below
       case BlobRead::kHit:
         if (std::optional<TuneRecord> record = decodeRecord(payload)) {
+            obs::Registry::instance()
+                .counter("tune_db_warm_total")
+                .add();
+            span.arg("outcome", "warm");
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.disk_hits;
             return record;
@@ -172,6 +183,8 @@ TuneDb::load(const Fingerprint &key)
         break;
     }
     warn("tune db entry " + key.hex() + " rejected: " + why);
+    obs::Registry::instance().counter("tune_db_error_total").add();
+    span.arg("outcome", "error");
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.disk_errors;
     return std::nullopt;
@@ -185,6 +198,7 @@ TuneDb::store(const Fingerprint &key, const TuneRecord &record)
     if (!writeBlobAtomic(entryPath(key), kMagic, kTuneDbVersion,
                          encodeRecord(record)))
         return;
+    obs::Registry::instance().counter("tune_db_store_total").add();
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.stores;
 }

@@ -6,6 +6,8 @@
 #include "compiler/memory_planner.h"
 #include "ir/verifier.h"
 #include "layout/atoms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/pass_manager.h"
 #include "support/error.h"
 #include "support/math_util.h"
@@ -885,6 +887,11 @@ Lowering::tryLowerSimtDot(const DotInst &inst)
 lir::Kernel
 compile(const ir::Program &program, const CompileOptions &options)
 {
+    obs::Span span("compiler", "compile");
+    span.arg("program", program.name)
+        .arg("opt_level",
+             static_cast<int64_t>(static_cast<int>(options.opt_level)));
+    obs::Registry::instance().counter("compiler_compiles_total").add();
     Lowering lowering(program, options);
     lir::Kernel kernel = lowering.run();
     opt::PassManager::standardPipeline(options.opt_level).run(kernel);

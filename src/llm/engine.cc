@@ -46,7 +46,7 @@ ServingEngine::matmulUs(const LinearShape &shape, int64_t m,
     }
     baselines::EvalResult result = baselines::evaluateMatmul(
         system, rt_, wdtype, shape.n, shape.k, m, options_.group_size,
-        options_.opt_level);
+        options_.opt_level, options_.tune_space);
     if (!result.supported)
         throw SimError(model_.name + " " + shape.name + ": " +
                        result.reason);

@@ -35,6 +35,11 @@ struct EngineOptions
     /** LIR pass-pipeline level of every kernel the engine compiles;
         the serving cost paths inherit the optimizer's speedups. */
     compiler::OptLevel opt_level = compiler::OptLevel::O2;
+    /** Optional tuning-space override for every matmul sweep (must
+        outlive the engine). Demos use a compact space to keep
+        cold-cache runs short; nullptr keeps the per-system defaults
+        and the paper's tune keys. */
+    const autotune::TuneSpace *tune_space = nullptr;
 };
 
 /**

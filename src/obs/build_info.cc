@@ -1,0 +1,77 @@
+#include "obs/build_info.h"
+
+#include <sstream>
+
+#include "cache/fingerprint.h"
+#include "cache/tune_db.h"
+#include "compiler/options.h"
+
+namespace tilus {
+namespace obs {
+
+const char *
+gitDescribe()
+{
+#ifdef TILUS_GIT_DESCRIBE
+    return TILUS_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+compilerVersion()
+{
+#ifdef __VERSION__
+    return "" __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+buildType()
+{
+#ifdef TILUS_BUILD_TYPE
+    return TILUS_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+buildInfo()
+{
+    std::ostringstream oss;
+    oss << "tilus " << gitDescribe() << " | " << compilerVersion()
+        << " | " << buildType() << " | opt O2 default"
+        << " | compiler rev " << compiler::kCompilerRevision
+        << " | cache format v" << cache::kCacheFormatVersion
+        << " | tune db v" << cache::kTuneDbVersion;
+    return oss.str();
+}
+
+std::string
+buildInfoJson()
+{
+    auto escape = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+    std::ostringstream oss;
+    oss << "{\"git\":\"" << escape(gitDescribe()) << "\",\"compiler\":\""
+        << escape(compilerVersion()) << "\",\"build_type\":\""
+        << escape(buildType()) << "\",\"default_opt_level\":\"O2\""
+        << ",\"compiler_revision\":" << compiler::kCompilerRevision
+        << ",\"cache_format_version\":" << cache::kCacheFormatVersion
+        << ",\"tune_db_version\":" << cache::kTuneDbVersion << "}";
+    return oss.str();
+}
+
+} // namespace obs
+} // namespace tilus

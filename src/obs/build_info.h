@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Build/run provenance: one place that knows which source revision,
+ * compiler, and on-disk format versions produced this binary. Traces
+ * (obs/trace.h) embed it in their metadata and every BENCH_*.json
+ * carries it, so a recorded number can always be traced back to the
+ * build that produced it.
+ */
+#pragma once
+
+#include <string>
+
+namespace tilus {
+namespace obs {
+
+/** `git describe --always --dirty` at configure time ("unknown" when
+    the build did not run inside a git checkout). */
+const char *gitDescribe();
+
+/** Compiler identification string (__VERSION__). */
+const char *compilerVersion();
+
+/** CMake build type the binary was configured with. */
+const char *buildType();
+
+/** One-line human-readable provenance summary. */
+std::string buildInfo();
+
+/**
+ * The same provenance as a JSON object: git, compiler, build_type,
+ * default_opt_level, compiler_revision, cache_format_version,
+ * tune_db_version. Benches splice this into their JSON documents under
+ * a "build_info" key; the tracer stores buildInfo() in otherData.
+ */
+std::string buildInfoJson();
+
+} // namespace obs
+} // namespace tilus

@@ -1,0 +1,210 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace tilus {
+namespace obs {
+
+namespace {
+
+std::string
+fmtDouble(double v)
+{
+    // Integral values print without an exponent or trailing zeros so
+    // the JSON dump diffs cleanly; everything else gets %.6g.
+    if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+atexitDump()
+{
+    const char *path = std::getenv("TILUS_METRICS");
+    if (!path || !*path)
+        return;
+    if (!Registry::instance().writeFile(path))
+        warn(std::string("TILUS_METRICS: cannot write ") + path);
+}
+
+} // namespace
+
+Registry &
+Registry::instance()
+{
+    // Leaked on purpose: the atexit dump (and late metric updates from
+    // static destructors) must never race registry destruction.
+    static Registry *registry = [] {
+        Registry *r = new Registry();
+        if (const char *path = std::getenv("TILUS_METRICS");
+            path && *path)
+            std::atexit(atexitDump);
+        return r;
+    }();
+    return *registry;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+int64_t
+Registry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+double
+Registry::gaugeValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second->value();
+}
+
+double
+Histogram::bucketBound(int i)
+{
+    return std::ldexp(1.0, i);
+}
+
+std::string
+Registry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream oss;
+    oss << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        oss << (first ? "" : ",") << "\"" << name
+            << "\":" << c->value();
+        first = false;
+    }
+    oss << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        oss << (first ? "" : ",") << "\"" << name
+            << "\":" << fmtDouble(g->value());
+        first = false;
+    }
+    oss << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        oss << (first ? "" : ",") << "\"" << name
+            << "\":{\"count\":" << h->count()
+            << ",\"sum\":" << fmtDouble(h->sum()) << ",\"buckets\":[";
+        bool bfirst = true;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+            if (h->bucketCount(i) == 0)
+                continue;
+            oss << (bfirst ? "" : ",") << "["
+                << fmtDouble(Histogram::bucketBound(i)) << ","
+                << h->bucketCount(i) << "]";
+            bfirst = false;
+        }
+        oss << "]}";
+        first = false;
+    }
+    oss << "}}";
+    return oss.str();
+}
+
+std::string
+Registry::toPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream oss;
+    for (const auto &[name, c] : counters_) {
+        oss << "# TYPE tilus_" << name << " counter\n"
+            << "tilus_" << name << " " << c->value() << "\n";
+    }
+    for (const auto &[name, g] : gauges_) {
+        oss << "# TYPE tilus_" << name << " gauge\n"
+            << "tilus_" << name << " " << fmtDouble(g->value()) << "\n";
+    }
+    for (const auto &[name, h] : histograms_) {
+        oss << "# TYPE tilus_" << name << " histogram\n";
+        int64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+            if (h->bucketCount(i) == 0)
+                continue;
+            cumulative += h->bucketCount(i);
+            oss << "tilus_" << name << "_bucket{le=\""
+                << fmtDouble(Histogram::bucketBound(i)) << "\"} "
+                << cumulative << "\n";
+        }
+        oss << "tilus_" << name << "_bucket{le=\"+Inf\"} " << h->count()
+            << "\n"
+            << "tilus_" << name << "_sum " << fmtDouble(h->sum()) << "\n"
+            << "tilus_" << name << "_count " << h->count() << "\n";
+    }
+    return oss.str();
+}
+
+bool
+Registry::writeFile(const std::string &path) const
+{
+    const bool prom = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".prom") == 0;
+    std::ofstream out(path);
+    out << (prom ? toPrometheus() : toJson());
+    if (!prom)
+        out << "\n";
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+void
+Registry::zeroAllForTest()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->zero();
+    for (auto &[name, g] : gauges_)
+        g->zero();
+    for (auto &[name, h] : histograms_)
+        h->zero();
+}
+
+} // namespace obs
+} // namespace tilus

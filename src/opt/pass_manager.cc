@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "cache/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/interpreter.h"
 
 namespace tilus {
@@ -31,6 +34,18 @@ bool
 PassManager::runImpl(lir::Kernel &kernel, const ir::Env *args,
                      const sim::GpuSpec *spec)
 {
+    obs::Span pipeline_span("opt", "pass-pipeline");
+    if (pipeline_span.live()) {
+        // Structural fingerprint of the input kernel, so a pipeline
+        // span in the trace can be correlated with cache entries and
+        // autotune candidates. Only computed while tracing.
+        cache::Hasher h;
+        h.str(lir::printKernel(kernel));
+        pipeline_span.arg("kernel", kernel.name)
+            .arg("kernel_fingerprint", h.digest().hex())
+            .arg("passes", static_cast<int64_t>(passes_.size()));
+    }
+
     records_.clear();
     auto instrument = [&](PassRecord &record) {
         if (!args || !spec)
@@ -52,7 +67,17 @@ PassManager::runImpl(lir::Kernel &kernel, const ir::Env *args,
         record.name = pass->name();
         if (record_ir_)
             before_text = lir::printKernel(kernel);
-        record.changed = pass->run(kernel);
+        {
+            obs::Span pass_span("opt", record.name);
+            record.changed = pass->run(kernel);
+            pass_span.arg("kernel", kernel.name)
+                .arg("changed", record.changed);
+        }
+        obs::Registry::instance().counter("opt_passes_run_total").add();
+        if (record.changed)
+            obs::Registry::instance()
+                .counter("opt_passes_changed_total")
+                .add();
         any |= record.changed;
         if (record_ir_ && record.changed)
             record.ir_diff =

@@ -1,5 +1,7 @@
 #include "runtime/runtime.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 
 namespace tilus {
@@ -41,9 +43,17 @@ Runtime::getOrCompile(const ir::Program &program,
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = cache_.find(fp);
-        if (it != cache_.end())
+        if (it != cache_.end()) {
+            obs::Registry::instance()
+                .counter("runtime_memory_hit_total")
+                .add();
             return *it->second.kernel;
+        }
     }
+
+    obs::Span span("runtime", "get-or-compile");
+    if (span.live())
+        span.arg("program", program.name).arg("fingerprint", fp.hex());
 
     // Materialize outside the lock: compilation (and disk I/O) is the
     // expensive part, and the compile-ahead pool runs many of these
@@ -57,6 +67,7 @@ Runtime::getOrCompile(const ir::Program &program,
     if (!entry.kernel)
         entry.kernel = std::make_unique<lir::Kernel>(
             compiler::compile(program, options));
+    span.arg("outcome", from_disk ? "disk-hit" : "compiled");
 
     const lir::Kernel *result;
     bool persist = false;
@@ -90,9 +101,15 @@ Runtime::cachedProgram(const lir::Kernel &kernel) const
     if (it == entries_.end())
         return nullptr;
     CachedKernel &entry = *it->second;
-    if (!entry.program)
+    if (!entry.program) {
+        obs::Span span("sim", "microop-decode");
+        span.arg("kernel", kernel.name);
+        obs::Registry::instance()
+            .counter("sim_microop_decodes_total")
+            .add();
         entry.program = std::make_unique<sim::MicroProgram>(
             sim::compileMicroProgram(kernel));
+    }
     return entry.program.get();
 }
 

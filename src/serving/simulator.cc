@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/math_util.h"
 
@@ -99,6 +101,27 @@ Simulator::run(const Trace &trace)
     const SchedulerLimits &limits = options_.limits;
     const bool paged = limits.paged();
     scheduler_.reset();
+
+    // Virtual-clock trace domain: each run gets its own process block
+    // so per-track timestamps stay monotonic across runs. Request
+    // lifecycles are async-nestable series keyed by the state index;
+    // engine steps are B/E spans on the process's main track; KV-pool
+    // occupancy is a counter track. All timestamps are simulated
+    // milliseconds, never wall clock.
+    obs::Tracer &tracer = obs::Tracer::instance();
+    const bool tracing = tracer.enabled();
+    int vpid = 0;
+    if (tracing)
+        vpid = tracer.virtualProcess("serving:" + scheduler_.name());
+    auto reqName = [](const Request &request) {
+        return "req " + std::to_string(request.id);
+    };
+    obs::Span wall_span("serving", "simulate");
+    wall_span.arg("scheduler", scheduler_.name())
+        .arg("requests", static_cast<int64_t>(trace.requests.size()));
+    obs::Registry::instance()
+        .counter("serving_requests_total")
+        .add(static_cast<int64_t>(trace.requests.size()));
     // One pool per run; ids into `states` double as page owners.
     KvPagePool pool(limits.kv_capacity_tokens,
                     paged ? limits.kv_page_tokens : 1);
@@ -166,9 +189,21 @@ Simulator::run(const Trace &trace)
             state.finish_ms = at_ms;
             ++report.rejected;
             ++finished;
+            if (tracing) {
+                // A rejected request still gets a (zero-length) track
+                // so every submission is visible in the trace.
+                const std::string name = reqName(state.request);
+                tracer.asyncBegin(vpid, "request", name, id, at_ms);
+                tracer.asyncInstant(vpid, "request", "rejected", id,
+                                    at_ms);
+                tracer.asyncEnd(vpid, "request", name, id, at_ms);
+            }
             return false;
         }
         queued.push_back(id);
+        if (tracing)
+            tracer.asyncBegin(vpid, "request", reqName(state.request),
+                              id, at_ms);
         return true;
     };
 
@@ -251,6 +286,11 @@ Simulator::run(const Trace &trace)
             state.phase = Phase::kQueued;
             ++state.preemptions;
             ++report.preemptions;
+            obs::Registry::instance()
+                .counter("serving_preemptions_total")
+                .add();
+            if (tracing)
+                tracer.asyncInstant(vpid, "request", "preempt", id, now);
             queued.push_front(id);
         }
 
@@ -273,6 +313,11 @@ Simulator::run(const Trace &trace)
             RequestState &state = states[id];
             TILUS_CHECK(state.phase == Phase::kQueued);
             state.phase = Phase::kPrefill;
+            if (tracing)
+                tracer.asyncInstant(vpid, "request",
+                                    state.preemptions > 0 ? "resume"
+                                                          : "admitted",
+                                    id, now);
             if (state.admitted_ms < 0)
                 state.admitted_ms = now; // queue wait = first admission
             running.push_back(id);
@@ -338,6 +383,18 @@ Simulator::run(const Trace &trace)
                         << " without planning a preemption");
             step_ms = prefillCostMs(chunk.tokens, state.prefilled_tokens);
             ++report.prefill_steps;
+            if (tracing) {
+                tracer.virtualBegin(vpid, "serving", "prefill", now,
+                                    obs::Args()
+                                        .add("request", state.request.id)
+                                        .add("tokens", chunk.tokens)
+                                        .add("past",
+                                             state.prefilled_tokens));
+                tracer.virtualEnd(vpid, "serving", "prefill",
+                                  now + step_ms);
+                tracer.asyncInstant(vpid, "request", "prefill-chunk",
+                                    chunk.id, now);
+            }
             state.prefilled_tokens += chunk.tokens;
             state.kv_tokens += chunk.tokens;
             kv_used_tokens += chunk.tokens;
@@ -346,8 +403,13 @@ Simulator::run(const Trace &trace)
                 // after a preemption) emits the next output token — the
                 // logits are already computed.
                 state.phase = Phase::kDecode;
-                if (state.generated_tokens == 0)
+                if (state.generated_tokens == 0) {
                     state.first_token_ms = now + step_ms;
+                    if (tracing)
+                        tracer.asyncInstant(vpid, "request",
+                                            "first-token", chunk.id,
+                                            now + step_ms);
+                }
                 state.generated_tokens += 1;
                 if (state.generated_tokens == state.request.output_tokens)
                     done.push_back(chunk.id);
@@ -367,6 +429,12 @@ Simulator::run(const Trace &trace)
                                << " planned duplicate decode ids");
             step_ms = decodeCostMs(batch);
             ++report.decode_steps;
+            if (tracing) {
+                tracer.virtualBegin(vpid, "serving", "decode", now,
+                                    obs::Args().add("batch", batch));
+                tracer.virtualEnd(vpid, "serving", "decode",
+                                  now + step_ms);
+            }
             report.batch_histogram[batch] += 1;
             decode_batch_sum += static_cast<double>(batch);
             for (int64_t id : plan.decode) {
@@ -416,9 +484,17 @@ Simulator::run(const Trace &trace)
                 std::find(running.begin(), running.end(), id));
             ++finished;
             ++report.completed;
+            if (tracing)
+                tracer.asyncEnd(vpid, "request", reqName(state.request),
+                                id, now);
             if (closed_loop)
                 injectNext(now);
         }
+        // The occupancy track samples after releases so a drop from a
+        // finishing request is visible at the step boundary.
+        if (tracing)
+            tracer.virtualCounter(vpid, "kv_used_tokens", now,
+                                  static_cast<double>(kv_used_tokens));
     }
 
     // Page accounting must balance: every allocation was returned.
@@ -474,6 +550,10 @@ Simulator::run(const Trace &trace)
     if (report.decode_steps > 0)
         report.mean_decode_batch =
             decode_batch_sum / static_cast<double>(report.decode_steps);
+    wall_span.arg("completed", report.completed)
+        .arg("rejected", report.rejected)
+        .arg("preemptions", report.preemptions)
+        .arg("makespan_ms", report.makespan_ms);
     report.requests = std::move(states);
     return report;
 }

@@ -11,6 +11,8 @@
 #include "dtype/packing.h"
 #include "ir/instruction.h"
 #include "layout/atoms.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/exec_common.h"
 #include "sim/microop.h"
 #include "support/error.h"
@@ -678,6 +680,10 @@ SimStats
 run(const lir::Kernel &kernel, ir::Env args, Device *device,
     const RunOptions &options)
 {
+    obs::Span span("sim", "run");
+    span.arg("kernel", kernel.name);
+    obs::Registry::instance().counter("sim_runs_total").add();
+
     // Bind the workspace pointer (one workspace shared by the whole grid).
     if (kernel.workspace_bytes > 0) {
         uint64_t ws = 0;
@@ -726,9 +732,14 @@ run(const lir::Kernel &kernel, ir::Env args, Device *device,
                                << program->fallbackReason());
             stats.microop_fallbacks += 1;
             stats.microop_fallback_reason = program->fallbackReason();
+            obs::Registry::instance()
+                .counter("sim_microop_fallbacks_total")
+                .add();
+            span.arg("fallback_reason", stats.microop_fallback_reason);
             program = nullptr;
         }
     }
+    span.arg("engine", program != nullptr ? "microop" : "treewalk");
 
     for (int64_t linear = 0; linear < limit; ++linear) {
         std::vector<int64_t> bidx = unravel(linear, grid);

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * The observability layer (src/obs/): the trace-event JSON schema is
+ * pinned byte-for-byte by a golden virtual-clock document, wall spans
+ * render balanced B/E pairs with sorted keys, the tracer survives
+ * concurrent emission from many threads without losing or corrupting
+ * events, disabled mode allocates no buffers and records nothing, and
+ * the metrics registry counts correctly under contention and dumps
+ * valid JSON / Prometheus text.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/build_info.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+using namespace tilus;
+
+namespace {
+
+/** Count non-overlapping occurrences of `needle` in `text`. */
+int
+countOf(const std::string &text, const std::string &needle)
+{
+    int n = 0;
+    for (size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+class TracerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { obs::Tracer::instance().disable(); }
+    void TearDown() override { obs::Tracer::instance().disable(); }
+};
+
+} // namespace
+
+// The golden document: every key, the key order, the timestamp format,
+// the metadata blocks, and the event sort are all part of the schema
+// that tools/check_trace.py and external viewers (Perfetto) consume.
+// A change that breaks this test breaks every recorded trace.
+TEST_F(TracerTest, GoldenVirtualTraceIsPinned)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.enable("unused-golden.json");
+    tracer.setMetadata("build_info", "test");
+
+    int pid = tracer.virtualProcess("sim");
+    ASSERT_EQ(pid, 2);
+    tracer.virtualBegin(pid, "serving", "step", 0.0,
+                        obs::Args().add("batch", int64_t{4}));
+    tracer.asyncBegin(pid, "request", "req 0", 7, 0.5);
+    tracer.virtualCounter(pid, "kv_used_tokens", 1.0, 3.0);
+    tracer.asyncInstant(pid, "request", "first-token", 7, 1.25);
+    tracer.asyncEnd(pid, "request", "req 0", 7, 2.0);
+    tracer.virtualEnd(pid, "serving", "step", 2.0);
+
+    const std::string expected =
+        "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"build_info\":"
+        "\"test\"},\"traceEvents\":[\n"
+        "{\"args\":{\"name\":\"tilus (wall clock)\"},\"cat\":"
+        "\"__metadata\",\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"tid\":0,\"ts\":0.000},\n"
+        "{\"args\":{\"name\":\"sim (virtual clock)\"},\"cat\":"
+        "\"__metadata\",\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+        "\"tid\":0,\"ts\":0.000},\n"
+        "{\"args\":{\"name\":\"thread 0\"},\"cat\":\"__metadata\","
+        "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"ts\":0.000},\n"
+        "{\"args\":{\"batch\":4},\"cat\":\"serving\",\"name\":\"step\","
+        "\"ph\":\"B\",\"pid\":2,\"tid\":0,\"ts\":0.000},\n"
+        "{\"cat\":\"request\",\"id\":\"7\",\"name\":\"req 0\",\"ph\":"
+        "\"b\",\"pid\":2,\"tid\":0,\"ts\":500.000},\n"
+        "{\"args\":{\"value\":3},\"cat\":\"serving\",\"name\":"
+        "\"kv_used_tokens\",\"ph\":\"C\",\"pid\":2,\"tid\":0,"
+        "\"ts\":1000.000},\n"
+        "{\"cat\":\"request\",\"id\":\"7\",\"name\":\"first-token\","
+        "\"ph\":\"n\",\"pid\":2,\"tid\":0,\"ts\":1250.000},\n"
+        "{\"cat\":\"request\",\"id\":\"7\",\"name\":\"req 0\",\"ph\":"
+        "\"e\",\"pid\":2,\"tid\":0,\"ts\":2000.000},\n"
+        "{\"cat\":\"serving\",\"name\":\"step\",\"ph\":\"E\",\"pid\":2,"
+        "\"tid\":0,\"ts\":2000.000}\n"
+        "]}\n";
+    EXPECT_EQ(tracer.document(), expected);
+}
+
+TEST_F(TracerTest, WallSpanEmitsBalancedPairWithArgs)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.enable("unused-span.json");
+    {
+        obs::Span span("opt", "my-pass");
+        EXPECT_TRUE(span.live());
+        span.arg("kernel", "k0").arg("changed", true);
+    }
+    EXPECT_EQ(tracer.eventCount(), 2);
+    const std::string doc = tracer.document();
+    EXPECT_NE(doc.find("\"cat\":\"opt\",\"name\":\"my-pass\",\"ph\":"
+                       "\"B\",\"pid\":1"),
+              std::string::npos);
+    // Args ride on the E event; Perfetto merges them into the slice.
+    EXPECT_NE(doc.find("{\"args\":{\"kernel\":\"k0\",\"changed\":true},"
+                       "\"cat\":\"opt\",\"name\":\"my-pass\",\"ph\":"
+                       "\"E\",\"pid\":1"),
+              std::string::npos);
+}
+
+TEST_F(TracerTest, JsonStringsAreEscaped)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.enable("unused-escape.json");
+    {
+        obs::Span span("sim", "quote\"back\\slash\nline");
+        span.arg("why", std::string("tab\there"));
+    }
+    const std::string doc = tracer.document();
+    EXPECT_NE(doc.find("quote\\\"back\\\\slash\\nline"),
+              std::string::npos);
+    EXPECT_NE(doc.find("tab\\there"), std::string::npos);
+}
+
+TEST_F(TracerTest, ConcurrentSpansSurviveAndBalance)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.enable("unused-stress.json");
+    obs::Registry registry;
+    obs::Counter &hits = registry.counter("stress_hits_total");
+
+    constexpr int kThreads = 8;
+    constexpr int kSpansPerThread = 200;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                obs::Span span("sim", "work-" + std::to_string(t));
+                span.arg("i", static_cast<int64_t>(i));
+                hits.add();
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(tracer.eventCount(), kThreads * kSpansPerThread * 2);
+    EXPECT_EQ(tracer.droppedEvents(), 0);
+    EXPECT_GE(tracer.threadBufferCount(), kThreads);
+    EXPECT_EQ(hits.value(), kThreads * kSpansPerThread);
+
+    const std::string doc = tracer.document();
+    EXPECT_EQ(countOf(doc, "\"ph\":\"B\""),
+              kThreads * kSpansPerThread);
+    EXPECT_EQ(countOf(doc, "\"ph\":\"E\""),
+              kThreads * kSpansPerThread);
+    // Every thread got its own track with a thread_name metadata block.
+    EXPECT_GE(countOf(doc, "\"name\":\"thread_name\""), kThreads);
+}
+
+TEST_F(TracerTest, DisabledModeRecordsNothingAndAllocatesNoBuffers)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    ASSERT_FALSE(tracer.enabled());
+    {
+        obs::Span span("opt", "should-not-exist");
+        EXPECT_FALSE(span.live());
+        span.arg("ignored", int64_t{1});
+    }
+    tracer.virtualBegin(1, "serving", "no", 0.0);
+    tracer.virtualCounter(1, "no", 0.0, 0.0);
+    tracer.asyncBegin(1, "request", "no", 1, 0.0);
+    EXPECT_EQ(tracer.virtualProcess("no"), 0);
+    EXPECT_EQ(tracer.eventCount(), 0);
+    EXPECT_EQ(tracer.threadBufferCount(), 0);
+    EXPECT_EQ(tracer.droppedEvents(), 0);
+}
+
+TEST_F(TracerTest, EnableResetsVirtualPidsAndBuffers)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.enable("unused-a.json");
+    EXPECT_EQ(tracer.virtualProcess("one"), 2);
+    EXPECT_EQ(tracer.virtualProcess("two"), 3);
+    tracer.virtualBegin(2, "serving", "x", 0.0);
+    tracer.virtualEnd(2, "serving", "x", 1.0);
+    EXPECT_EQ(tracer.eventCount(), 2);
+    tracer.enable("unused-b.json");
+    EXPECT_EQ(tracer.eventCount(), 0);
+    EXPECT_EQ(tracer.virtualProcess("fresh"), 2);
+}
+
+TEST(Metrics, CounterGaugeHistogramBasics)
+{
+    obs::Registry registry;
+    obs::Counter &c = registry.counter("ops_total");
+    c.add();
+    c.add(4);
+    EXPECT_EQ(c.value(), 5);
+    EXPECT_EQ(registry.counterValue("ops_total"), 5);
+    EXPECT_EQ(registry.counterValue("absent_total"), 0);
+    // Get-or-create returns the same handle.
+    EXPECT_EQ(&registry.counter("ops_total"), &c);
+
+    obs::Gauge &g = registry.gauge("depth");
+    g.set(3.5);
+    g.add(1.5);
+    EXPECT_DOUBLE_EQ(g.value(), 5.0);
+    EXPECT_DOUBLE_EQ(registry.gaugeValue("depth"), 5.0);
+
+    obs::Histogram &h = registry.histogram("latency_us");
+    h.observe(0.5); // <= 2^0 -> bucket 0
+    h.observe(3.0); // <= 2^2 -> bucket 2
+    h.observe(3.9);
+    EXPECT_EQ(h.count(), 3);
+    EXPECT_DOUBLE_EQ(h.sum(), 7.4);
+    EXPECT_EQ(h.bucketCount(0), 1);
+    EXPECT_EQ(h.bucketCount(1), 0);
+    EXPECT_EQ(h.bucketCount(2), 2);
+    EXPECT_DOUBLE_EQ(obs::Histogram::bucketBound(10), 1024.0);
+}
+
+TEST(Metrics, JsonDumpIsSortedAndStable)
+{
+    obs::Registry registry;
+    registry.counter("b_total").add(2);
+    registry.counter("a_total").add(1);
+    registry.gauge("g").set(1.5);
+    registry.histogram("h").observe(3.0);
+    EXPECT_EQ(registry.toJson(),
+              "{\"counters\":{\"a_total\":1,\"b_total\":2},"
+              "\"gauges\":{\"g\":1.5},"
+              "\"histograms\":{\"h\":{\"count\":1,\"sum\":3,"
+              "\"buckets\":[[4,1]]}}}");
+}
+
+TEST(Metrics, PrometheusDumpHasTypedFamilies)
+{
+    obs::Registry registry;
+    registry.counter("hits_total").add(7);
+    registry.gauge("depth").set(2);
+    registry.histogram("lat").observe(3.0);
+    const std::string prom = registry.toPrometheus();
+    EXPECT_NE(prom.find("# TYPE tilus_hits_total counter\n"
+                        "tilus_hits_total 7\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("# TYPE tilus_depth gauge\ntilus_depth 2\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("tilus_lat_bucket{le=\"4\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("tilus_lat_bucket{le=\"+Inf\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("tilus_lat_count 1\n"), std::string::npos);
+}
+
+TEST(Metrics, ConcurrentCountingLosesNothing)
+{
+    obs::Registry registry;
+    obs::Counter &c = registry.counter("contended_total");
+    obs::Histogram &h = registry.histogram("contended_lat");
+    constexpr int kThreads = 8;
+    constexpr int kIters = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                c.add();
+                h.observe(1.0);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), kThreads * kIters);
+    EXPECT_EQ(h.count(), kThreads * kIters);
+    EXPECT_DOUBLE_EQ(h.sum(), kThreads * kIters);
+}
+
+TEST(Metrics, ZeroAllForTestKeepsHandles)
+{
+    obs::Registry registry;
+    obs::Counter &c = registry.counter("z_total");
+    c.add(9);
+    registry.zeroAllForTest();
+    EXPECT_EQ(c.value(), 0);
+    c.add(1);
+    EXPECT_EQ(registry.counterValue("z_total"), 1);
+}
+
+TEST(BuildInfo, ProvenanceIsStamped)
+{
+    EXPECT_STRNE(obs::gitDescribe(), "");
+    EXPECT_STRNE(obs::compilerVersion(), "");
+    const std::string line = obs::buildInfo();
+    EXPECT_NE(line.find("cache format v"), std::string::npos);
+    const std::string json = obs::buildInfoJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"git\":"), std::string::npos);
+    EXPECT_NE(json.find("\"compiler_revision\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"cache_format_version\":1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tune_db_version\":1"), std::string::npos);
+}

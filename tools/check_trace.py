@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event document emitted via TILUS_TRACE.
+
+Checks (see src/obs/README.md for the emitter contract):
+  * the file is well-formed JSON with displayTimeUnit / otherData /
+    traceEvents keys and a build_info stamp;
+  * every event carries cat/name/ph/pid/tid/ts with sane types;
+  * B/E duration events are balanced and properly nested per
+    (pid, tid), with non-decreasing timestamps per track;
+  * async b/n/e events are balanced per (pid, cat, id) and every n
+    falls inside an open series;
+  * counter (C) events carry a numeric "value" arg;
+  * spans from the required subsystem categories are present, on the
+    correct clock domain (wall categories on pid 1, serving/request
+    on virtual pids >= 2).
+
+Usage:
+  check_trace.py TRACE.json
+  check_trace.py --run BINARY   # run BINARY with TILUS_TRACE (and a
+                                # fresh TILUS_CACHE_DIR so compile /
+                                # opt / autotune spans appear), then
+                                # validate what it wrote
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+WALL_PID = 1
+
+# Categories the example must produce, and the clock domain each one
+# must be on ("wall" -> pid 1, "virtual" -> pid >= 2).
+REQUIRED_CATS = {
+    "opt": "wall",
+    "compiler": "wall",
+    "autotune": "wall",
+    "cache": "wall",
+    "serving": "any",  # wall simulate span + virtual step spans
+    "request": "virtual",
+}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+
+    for key in ("displayTimeUnit", "otherData", "traceEvents"):
+        if key not in doc:
+            fail(f"document is missing the '{key}' key")
+    if "build_info" not in doc["otherData"]:
+        fail("otherData is missing the build_info stamp")
+
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    # Per-(pid, tid) open B stack and last timestamp; per-(pid, cat, id)
+    # open async depth.
+    stacks = {}
+    last_ts = {}
+    async_open = {}
+    seen = {}  # cat -> set of pids
+
+    for i, e in enumerate(events):
+        for key, types in (("cat", str), ("name", str), ("ph", str),
+                           ("pid", int), ("tid", int),
+                           ("ts", (int, float))):
+            if key not in e or not isinstance(e[key], types):
+                fail(f"event {i} has a missing or mistyped '{key}': {e}")
+        ph = e["ph"]
+        cat, pid, tid, ts = e["cat"], e["pid"], e["tid"], e["ts"]
+        if ph == "M":
+            continue
+        seen.setdefault(cat, set()).add(pid)
+        track = (pid, tid)
+        if ts < last_ts.get(track, float("-inf")):
+            fail(f"event {i} ({cat}/{e['name']}) goes backwards on "
+                 f"track pid={pid} tid={tid}: ts {ts} < {last_ts[track]}")
+        last_ts[track] = ts
+
+        if ph == "B":
+            stacks.setdefault(track, []).append(e["name"])
+        elif ph == "E":
+            stack = stacks.get(track, [])
+            if not stack:
+                fail(f"event {i}: E '{e['name']}' with no open B on "
+                     f"track pid={pid} tid={tid}")
+            top = stack.pop()
+            if top != e["name"]:
+                fail(f"event {i}: E '{e['name']}' does not match open "
+                     f"B '{top}' on track pid={pid} tid={tid}")
+        elif ph in ("b", "n", "e"):
+            if "id" not in e:
+                fail(f"event {i}: async phase '{ph}' without an id")
+            series = (pid, cat, str(e["id"]))
+            depth = async_open.get(series, 0)
+            if ph == "b":
+                async_open[series] = depth + 1
+            elif ph == "e":
+                if depth < 1:
+                    fail(f"event {i}: async end with no open begin for "
+                         f"series {series}")
+                async_open[series] = depth - 1
+            elif depth < 1:
+                fail(f"event {i}: async instant outside an open series "
+                     f"{series}")
+        elif ph == "C":
+            args = e.get("args", {})
+            if not any(isinstance(v, (int, float)) and
+                       not isinstance(v, bool) for v in args.values()):
+                fail(f"event {i}: counter without a numeric arg: {e}")
+        else:
+            fail(f"event {i}: unknown phase '{ph}'")
+
+    for track, stack in stacks.items():
+        if stack:
+            fail(f"track pid={track[0]} tid={track[1]} ends with "
+                 f"unclosed span(s): {stack}")
+    for series, depth in async_open.items():
+        if depth != 0:
+            fail(f"async series {series} ends unbalanced (depth {depth})")
+
+    for cat, domain in REQUIRED_CATS.items():
+        pids = seen.get(cat)
+        if not pids:
+            fail(f"no events from required category '{cat}'")
+        if domain == "wall" and pids != {WALL_PID}:
+            fail(f"category '{cat}' must live on the wall-clock track "
+                 f"(pid {WALL_PID}), found pids {sorted(pids)}")
+        if domain == "virtual" and WALL_PID in pids:
+            fail(f"category '{cat}' must live on virtual-clock tracks "
+                 f"(pid >= 2), found pid {WALL_PID}")
+
+    counters = sum(1 for e in events if e["ph"] == "C")
+    print(f"check_trace: OK: {len(events)} events, "
+          f"{len(seen)} categories ({', '.join(sorted(seen))}), "
+          f"{counters} counter samples")
+
+
+def run_and_validate(binary):
+    with tempfile.TemporaryDirectory(prefix="tilus_check_trace_") as tmp:
+        trace = os.path.join(tmp, "trace.json")
+        env = dict(os.environ)
+        env["TILUS_TRACE"] = trace
+        # A fresh cache dir forces the compile / opt / autotune spans
+        # the category check requires; a warm cache would skip them all.
+        env["TILUS_CACHE_DIR"] = os.path.join(tmp, "cache")
+        env.pop("TILUS_CACHE", None)
+        proc = subprocess.run([binary], env=env,
+                              stdout=subprocess.DEVNULL, timeout=540)
+        if proc.returncode != 0:
+            fail(f"{binary} exited with {proc.returncode}")
+        if not os.path.exists(trace):
+            fail(f"{binary} did not write {trace}")
+        validate(trace)
+
+
+def main(argv):
+    if len(argv) == 3 and argv[1] == "--run":
+        run_and_validate(argv[2])
+    elif len(argv) == 2:
+        validate(argv[1])
+    else:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    main(sys.argv)
