@@ -27,9 +27,22 @@
  * every system and scheduler at each traffic point, and the virtual
  * clock advances only by simulated step costs. Pass a path argument to
  * also record the sweep as a JSON document (see BENCH_serving.json).
+ *
+ * After the sweep a stress section replays a 10^5-request closed-loop
+ * trace in sketch mode (keep_request_states = false) and self-gates the
+ * streaming-telemetry contract: report memory stays O(1) in the request
+ * count (bounded sketch buckets, no retained per-request states), the
+ * sketch-mode report is byte-identical to the state-retaining one, the
+ * recorded p50/p95/p99 land within the sketch's relative-accuracy bound
+ * of the exact per-request vectors, and merging two disjoint 5*10^4
+ * shards reproduces the pooled percentiles within the same bound.
  */
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <vector>
+
+#include "support/percentile.h"
 
 #include "bench_common.h"
 #include "llm/engine.h"
@@ -161,6 +174,239 @@ runOne(llm::ServingEngine &engine, const SystemUnderTest &sut,
     return report;
 }
 
+//
+// Stress section: streaming-telemetry gates at 10^5 requests.
+//
+
+constexpr int64_t kStressRequests = 100000;
+constexpr int64_t kStressClients = 64;
+constexpr int64_t kStressShardClients = 32;
+constexpr double kStressWindowMs = 60000.0; ///< one series window / min
+
+/** The sketch guarantees kDefaultSketchAccuracy (1%) per value; the
+    hair on top covers the rank-interpolation difference between the
+    sketch's bucket walk and the exact type-7 reference at finite
+    sample counts. */
+constexpr double kStressTol = obs::kDefaultSketchAccuracy + 5e-4;
+
+/** Light requests keep the 10^5-request makespan manageable while the
+    closed loop holds queue pressure constant. */
+serving::TraceOptions
+stressTraceOptions(int64_t num_requests, uint64_t seed)
+{
+    serving::TraceOptions options;
+    options.num_requests = num_requests;
+    options.prompt_min = 64;
+    options.prompt_max = 256;
+    options.output_min = 16;
+    options.output_max = 64;
+    options.seed = seed;
+    return options;
+}
+
+serving::ServingReport
+runStressTrace(llm::ServingEngine &engine, const serving::Trace &trace,
+               const char *trace_label, bool keep_request_states,
+               uint64_t seed)
+{
+    serving::PagedFcfsScheduler scheduler;
+    serving::SimOptions options;
+    options.limits = serving::pagedLimitsFrom(engine);
+    options.limits.max_batch = kServeMaxBatch;
+    options.series_window_ms = kStressWindowMs;
+    options.keep_request_states = keep_request_states;
+    serving::Simulator simulator(engine, scheduler, options);
+    simulator.warmUp();
+    serving::ServingReport report = simulator.run(trace);
+    report.system = "Tilus u4";
+    report.model = engine.model().name + "/" + trace_label;
+    report.wdtype = engine.options().wdtype.name();
+    report.rate_rps = 0; // closed loop
+    report.seed = seed;
+    return report;
+}
+
+/** Exact per-request reference vectors, mirroring what MetricTracker
+    feeds the sketches (see src/serving/metrics.cc). */
+struct ExactVectors
+{
+    std::vector<double> ttft, tpot, latency, queue_wait;
+
+    void
+    append(const std::vector<serving::RequestState> &states)
+    {
+        for (const serving::RequestState &state : states) {
+            if (state.phase != serving::Phase::kFinished)
+                continue;
+            const serving::Request &request = state.request;
+            ttft.push_back(state.first_token_ms - request.arrival_ms);
+            latency.push_back(state.finish_ms - request.arrival_ms);
+            queue_wait.push_back(state.admitted_ms - request.arrival_ms);
+            if (request.output_tokens > 1)
+                tpot.push_back(
+                    (state.finish_ms - state.first_token_ms) /
+                    static_cast<double>(request.output_tokens - 1));
+        }
+    }
+};
+
+/** Relative error, degrading to absolute when the reference is an
+    exact zero (those land in the sketch's zero bucket). */
+double
+relErrOf(double got, double want)
+{
+    if (want == 0.0)
+        return std::fabs(got);
+    return std::fabs(got - want) / std::fabs(want);
+}
+
+/** Worst p50/p95/p99 deviation of the report's sketch-backed summaries
+    from exact type-7 percentiles over retained request vectors. */
+double
+maxQuantileRelErr(const serving::ServingReport &report,
+                  const ExactVectors &exact)
+{
+    struct
+    {
+        const serving::LatencySummary *summary;
+        const std::vector<double> *values;
+    } const pairs[] = {
+        {&report.ttft, &exact.ttft},
+        {&report.tpot, &exact.tpot},
+        {&report.latency, &exact.latency},
+        {&report.queue_wait, &exact.queue_wait},
+    };
+    double worst = 0;
+    for (const auto &pair : pairs) {
+        for (double pct : {50.0, 95.0, 99.0})
+            worst = std::max(worst,
+                             relErrOf(pct == 50.0   ? pair.summary->p50
+                                      : pct == 95.0 ? pair.summary->p95
+                                                    : pair.summary->p99,
+                                      percentile(*pair.values, pct)));
+    }
+    return worst;
+}
+
+struct StressResult
+{
+    std::string evidence; ///< JSON block recorded under "stress"
+    bool ok = true;
+};
+
+StressResult
+runStressSection()
+{
+    printHeader("Stress: 10^5-request closed-loop trace in sketch mode "
+                "(O(1) report memory)");
+    StressResult out;
+
+    runtime::Runtime rt(sim::l40s());
+    llm::EngineOptions eopts;
+    eopts.system = baselines::System::kTilus;
+    eopts.wdtype = uint4();
+    llm::ServingEngine engine(rt, llm::gemma2_9b(), eopts);
+
+    const serving::Trace trace = serving::closedLoopTrace(
+        stressTraceOptions(kStressRequests, kSeed), kStressClients);
+    serving::ServingReport lean =
+        runStressTrace(engine, trace, "closed-64", false, kSeed);
+    serving::ServingReport full =
+        runStressTrace(engine, trace, "closed-64", true, kSeed);
+
+    // Gate S1: sketch mode retains no per-request state, and total
+    // sketch storage is bounded by the metrics' dynamic range — not by
+    // the request count.
+    const int64_t buckets = lean.ttft_sketch.allocatedBuckets() +
+                            lean.tpot_sketch.allocatedBuckets() +
+                            lean.latency_sketch.allocatedBuckets() +
+                            lean.queue_wait_sketch.allocatedBuckets();
+    if (!lean.requests.empty() || lean.completed != kStressRequests ||
+        buckets >= 4096) {
+        std::printf("  ^ GATE FAIL: sketch mode is not O(1): "
+                    "%zu retained states, %lld/%lld completed, "
+                    "%lld sketch buckets\n",
+                    lean.requests.size(), (long long)lean.completed,
+                    (long long)kStressRequests, (long long)buckets);
+        out.ok = false;
+    }
+
+    // Gate S2: dropping the per-request states changes nothing the
+    // report says — every aggregate is accumulated incrementally.
+    serving::ServingReport full_lean_view = full;
+    full_lean_view.requests.clear();
+    const bool match = lean.toJson() == full_lean_view.toJson();
+    if (!match) {
+        std::printf("  ^ GATE FAIL: sketch-mode report differs from the "
+                    "state-retaining run\n");
+        out.ok = false;
+    }
+
+    // Gate S3: recorded tails track the exact reference within the
+    // sketch's relative-accuracy bound.
+    ExactVectors exact;
+    exact.append(full.requests);
+    const double rel_err = maxQuantileRelErr(lean, exact);
+    if (rel_err > kStressTol) {
+        std::printf("  ^ GATE FAIL: sketch quantile rel err %.4g "
+                    "exceeds bound %.4g\n",
+                    rel_err, kStressTol);
+        out.ok = false;
+    }
+
+    // Gate S4: merging two disjoint 5*10^4 shards reproduces the
+    // pooled percentiles within the same bound.
+    serving::Trace shard_a_trace = serving::closedLoopTrace(
+        stressTraceOptions(kStressRequests / 2, kSeed),
+        kStressShardClients);
+    serving::Trace shard_b_trace = serving::closedLoopTrace(
+        stressTraceOptions(kStressRequests / 2, kSeed + 1),
+        kStressShardClients);
+    serving::ServingReport shard_a = runStressTrace(
+        engine, shard_a_trace, "closed-32-shard", true, kSeed);
+    serving::ServingReport shard_b = runStressTrace(
+        engine, shard_b_trace, "closed-32-shard", true, kSeed + 1);
+    const int64_t shard_completed = shard_a.completed + shard_b.completed;
+    ExactVectors pooled;
+    pooled.append(shard_a.requests);
+    pooled.append(shard_b.requests);
+    serving::ServingReport merged = shard_a;
+    merged.merge(shard_b);
+    const double merge_rel_err = maxQuantileRelErr(merged, pooled);
+    if (merged.completed != shard_completed ||
+        merge_rel_err > kStressTol) {
+        std::printf("  ^ GATE FAIL: merged shard report off pooled "
+                    "reference: completed %lld vs %lld, rel err %.4g "
+                    "(bound %.4g)\n",
+                    (long long)merged.completed,
+                    (long long)shard_completed, merge_rel_err,
+                    kStressTol);
+        out.ok = false;
+    }
+
+    std::printf("%lld requests, %lld clients: %.1f tok/s, lat p50 %.1f "
+                "p99 %.1f ms, %lld sketch buckets\n"
+                "quantile rel err %.4g (merge %.4g), bound %.4g; "
+                "sketch-mode report %s the retaining run\n",
+                (long long)lean.completed, (long long)kStressClients,
+                lean.throughput_tok_s, lean.latency.p50, lean.latency.p99,
+                (long long)buckets, rel_err, merge_rel_err, kStressTol,
+                match ? "matches" : "DIFFERS FROM");
+
+    std::ostringstream ev;
+    ev << "{\"requests\":" << kStressRequests
+       << ",\"clients\":" << kStressClients
+       << ",\"shard_clients\":" << kStressShardClients
+       << ",\"sketch_buckets\":" << buckets
+       << ",\"sketch_mode_matches_full\":" << (match ? "true" : "false")
+       << ",\"max_quantile_rel_err\":" << rel_err
+       << ",\"merge_max_quantile_rel_err\":" << merge_rel_err
+       << ",\"rel_err_bound\":" << kStressTol
+       << ",\"report\":" << lean.toJson() << "}";
+    out.evidence = ev.str();
+    return out;
+}
+
 } // namespace
 
 int
@@ -260,6 +506,10 @@ main(int argc, char **argv)
         }
     }
 
+    StressResult stress = runStressSection();
+    if (!stress.ok)
+        gates_ok = false;
+
     std::printf("\nPoisson traces carry a uniform %.0f ms SLO; the "
                 "bursty trace mixes %.0f ms interactive and best-effort "
                 "classes.\ngoodput = completions inside their SLO per "
@@ -278,7 +528,7 @@ main(int argc, char **argv)
     for (size_t i = 0; i < reports.size(); ++i)
         json << "  " << reports[i].toJson()
              << (i + 1 < reports.size() ? ",\n" : "\n");
-    json << "]}\n";
+    json << "],\"stress\":" << stress.evidence << "}\n";
     if (argc > 1) {
         std::ofstream out(argv[1]);
         out << json.str();

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "support/logging.h"
 
@@ -108,6 +109,42 @@ Histogram::bucketBound(int i)
     return std::ldexp(1.0, i);
 }
 
+double
+Histogram::quantile(double pct) const
+{
+    const int64_t total = count();
+    if (total <= 0)
+        return 0.0;
+    const double clamped = std::min(std::max(pct, 0.0), 100.0);
+    // Type-7 rank (matches support/percentile.h): the fractional
+    // order-statistic index in [0, total-1].
+    const double rank =
+        clamped / 100.0 * static_cast<double>(total - 1);
+    int64_t cum = 0;
+    double last_bound = 0.0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const int64_t n = bucketCount(i);
+        if (n == 0)
+            continue;
+        if (rank < static_cast<double>(cum + n)) {
+            const double lo = i == 0 ? 0.0 : bucketBound(i - 1);
+            const double hi = bucketBound(i);
+            // Place the n samples at the centers of n equal slices of
+            // the bucket: a lone sample sits at the midpoint, and the
+            // estimate interpolates linearly with the in-bucket rank.
+            const double within =
+                (rank - static_cast<double>(cum) + 0.5) /
+                static_cast<double>(n);
+            return lo + (hi - lo) * std::min(within, 1.0);
+        }
+        cum += n;
+        last_bound = bucketBound(i);
+    }
+    // A racing observe bumped count before its bucket: report the
+    // highest populated bound.
+    return last_bound;
+}
+
 std::string
 Registry::toJson() const
 {
@@ -132,7 +169,11 @@ Registry::toJson() const
     for (const auto &[name, h] : histograms_) {
         oss << (first ? "" : ",") << "\"" << name
             << "\":{\"count\":" << h->count()
-            << ",\"sum\":" << fmtDouble(h->sum()) << ",\"buckets\":[";
+            << ",\"sum\":" << fmtDouble(h->sum())
+            << ",\"p50\":" << fmtDouble(h->quantile(50))
+            << ",\"p95\":" << fmtDouble(h->quantile(95))
+            << ",\"p99\":" << fmtDouble(h->quantile(99))
+            << ",\"buckets\":[";
         bool bfirst = true;
         for (int i = 0; i < Histogram::kBuckets; ++i) {
             if (h->bucketCount(i) == 0)
@@ -177,6 +218,15 @@ Registry::toPrometheus() const
             << "\n"
             << "tilus_" << name << "_sum " << fmtDouble(h->sum()) << "\n"
             << "tilus_" << name << "_count " << h->count() << "\n";
+        // Bucket-estimated tails as companion gauges (a histogram
+        // family cannot legally carry quantile-labelled samples).
+        const std::pair<double, const char *> tails[] = {
+            {50, "_p50"}, {95, "_p95"}, {99, "_p99"}};
+        for (const auto &[pct, suffix] : tails) {
+            oss << "# TYPE tilus_" << name << suffix << " gauge\n"
+                << "tilus_" << name << suffix << " "
+                << fmtDouble(h->quantile(pct)) << "\n";
+        }
     }
     return oss.str();
 }

@@ -117,6 +117,17 @@ class Histogram
     /** Upper bound of bucket @p i (2^i). */
     static double bucketBound(int i);
 
+    /**
+     * Estimated @p pct-th percentile (0..100) by linear interpolation
+     * inside the power-of-two bucket holding that rank (samples
+     * assumed uniform within a bucket; a lone sample reports the
+     * bucket midpoint). Coarse — bounded by the bucket width, i.e. a
+     * factor of 2 — but free, derived from counts already kept. The
+     * JSON and Prometheus dumps expose p50/p95/p99 from this. For
+     * relative-error-bounded quantiles use obs::QuantileSketch.
+     */
+    double quantile(double pct) const;
+
     void
     zero()
     {

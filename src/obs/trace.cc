@@ -359,12 +359,19 @@ void
 Tracer::virtualCounter(int pid, const std::string &name, double ts_ms,
                        double value)
 {
+    virtualCounter(pid, "serving", name, ts_ms, value);
+}
+
+void
+Tracer::virtualCounter(int pid, const char *cat, const std::string &name,
+                       double ts_ms, double value)
+{
     TraceEvent e;
     e.ph = 'C';
     e.pid = pid;
     e.tid = 0;
     e.ts_us = ts_ms * 1000.0;
-    e.cat = "serving";
+    e.cat = cat;
     e.name = name;
     e.args_json = Args().add("value", value).render();
     emit(std::move(e));

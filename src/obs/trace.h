@@ -140,6 +140,10 @@ class Tracer
                     double ts_ms, const Args &args = {});
     void virtualCounter(int pid, const std::string &name, double ts_ms,
                         double value);
+    /** Counter sample on an explicit category (e.g. "series" for the
+        per-window report series tracks). */
+    void virtualCounter(int pid, const char *cat, const std::string &name,
+                        double ts_ms, double value);
     void asyncBegin(int pid, const char *cat, const std::string &name,
                     uint64_t id, double ts_ms);
     void asyncInstant(int pid, const char *cat, const std::string &name,

@@ -6,6 +6,15 @@
  * line-oriented JSON serialization so benchmark sweeps can be recorded
  * and diffed across PRs (see bench/bench_serving.cc and
  * BENCH_serving.json).
+ *
+ * Latency distributions are held in obs::QuantileSketch — accumulated
+ * incrementally as requests finish, O(1) per request, no per-request
+ * vectors — and per-window occupancy/throughput history in an
+ * obs::TimeSeries (the report's "series" block). Both are mergeable:
+ * ServingReport::merge folds two replica reports into one fleet
+ * report, the primitive ROADMAP item 2's cluster router builds on.
+ * summarize() stays as the exact-reference path (sorts once) the
+ * sketch is tested against.
  */
 #pragma once
 
@@ -15,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/sketch.h"
+#include "obs/timeseries.h"
 #include "serving/scheduler.h"
 #include "support/percentile.h"
 
@@ -31,18 +42,25 @@ struct LatencySummary
     double p99 = 0;
 };
 
-/** Summarize a sample set (ms) into mean and interpolated tails. */
+/** Summarize a sample set (ms) into mean and interpolated tails —
+    the exact path: one sort, then interpolated order statistics. */
 inline LatencySummary
 summarize(const std::vector<double> &samples)
 {
     LatencySummary s;
     s.count = static_cast<int64_t>(samples.size());
     s.mean = meanOf(samples);
-    s.p50 = percentile(samples, 50);
-    s.p95 = percentile(samples, 95);
-    s.p99 = percentile(samples, 99);
+    std::vector<double> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    s.p50 = percentileOfSorted(sorted, 50);
+    s.p95 = percentileOfSorted(sorted, 95);
+    s.p99 = percentileOfSorted(sorted, 99);
     return s;
 }
+
+/** Summary of a sketch: exact count/mean, sketch-estimated tails
+    (within the sketch's relative-error bound of the exact values). */
+LatencySummary summarizeSketch(const obs::QuantileSketch &sketch);
 
 /** The full result of one Simulator::run. */
 struct ServingReport
@@ -59,6 +77,7 @@ struct ServingReport
     int64_t total_requests = 0;
     int64_t completed = 0;
     int64_t rejected = 0;   ///< demand exceeded capacity outright
+    int64_t met_slo = 0;    ///< completions inside their SLO (or no SLO)
     int64_t prompt_tokens = 0;  ///< prompt tokens of completed requests
     int64_t output_tokens = 0;  ///< tokens generated for completed requests
     int64_t prefill_steps = 0;
@@ -71,11 +90,25 @@ struct ServingReport
     double request_per_s = 0;     ///< completed requests per second
     double goodput_req_s = 0;     ///< completions meeting their SLO, per s
 
-    // Distributions (ms over completed requests).
+    // Distributions (ms over completed requests): the summaries are
+    // derived from the sketches (exact count/mean, tails within the
+    // sketch's relative-error bound).
     LatencySummary ttft;       ///< arrival -> first output token
     LatencySummary tpot;       ///< mean inter-token time after the first
     LatencySummary latency;    ///< arrival -> completion
     LatencySummary queue_wait; ///< arrival -> admission
+
+    // The mergeable per-metric sketches behind the summaries (not
+    // serialized in toJson; merge() folds them across replicas).
+    obs::QuantileSketch ttft_sketch;
+    obs::QuantileSketch tpot_sketch;
+    obs::QuantileSketch latency_sketch;
+    obs::QuantileSketch queue_wait_sketch;
+
+    // Per-window history over the virtual clock (the "series" JSON
+    // block): throughput_tok_s, queue_depth, decode_batch,
+    // kv_used_tokens, preemptions per fixed window.
+    obs::TimeSeries series;
 
     // Occupancy.
     double mean_queue_depth = 0;  ///< time-weighted queued requests
@@ -91,8 +124,32 @@ struct ServingReport
     double mean_kv_used_frac = 0;   ///< mean_kv_used_tokens / capacity
 
     // Per-request lifecycle, in trace order (not serialized; used by
-    // tests and trace printers).
+    // tests and trace printers). Empty when the run used
+    // SimOptions::keep_request_states = false (sketch-only mode, the
+    // O(1)-memory path for 10^5+ request traces).
     std::vector<RequestState> requests;
+
+    /**
+     * Fold @p other (another replica's report over a disjoint request
+     * shard) into this one, producing a fleet-level report:
+     *  - identity fields keep this report's values (callers label the
+     *    fleet); rate_rps adds (total offered load);
+     *  - volume counters, token counts, steps, preemptions add;
+     *  - sketches and series merge, summaries are re-derived, so the
+     *    merged percentiles equal a sketch over the pooled samples;
+     *  - makespan is the max (replicas run concurrently); throughput /
+     *    request / goodput rates are recomputed from pooled totals
+     *    over that makespan;
+     *  - time-weighted means (queue depth, KV tokens) are re-weighted
+     *    by each report's makespan and renormalized to the merged one
+     *    (fleet-total time-average); mean_decode_batch is re-weighted
+     *    by decode steps (per-step mean);
+     *  - kv capacity / peak / max_queue_depth add (fleet capacity;
+     *    peaks add as a conservative upper bound since per-replica
+     *    peaks need not coincide); batch_histogram adds element-wise;
+     *  - requests vectors concatenate (when kept).
+     */
+    void merge(const ServingReport &other);
 
     std::string toJson() const;
 };
@@ -143,47 +200,56 @@ appendSummary(std::ostringstream &oss, const char *key,
 
 } // namespace detail
 
-inline std::string
-ServingReport::toJson() const
+/**
+ * The incremental metric accumulator the simulator event loop feeds:
+ * per-finish sketch updates, per-step occupancy integrals and series
+ * windows — O(1) state per request, so report memory is flat no
+ * matter how many requests a trace carries. finalize() derives every
+ * aggregate ServingReport field from the accumulated state.
+ */
+class MetricTracker
 {
-    std::ostringstream oss;
-    oss << "{\"scheduler\":\"" << detail::jsonStr(scheduler)
-        << "\",\"system\":\"" << detail::jsonStr(system)
-        << "\",\"model\":\"" << detail::jsonStr(model)
-        << "\",\"wdtype\":\"" << detail::jsonStr(wdtype)
-        << "\",\"rate_rps\":" << detail::jsonNum(rate_rps)
-        << ",\"seed\":" << seed << ",\"total_requests\":" << total_requests
-        << ",\"completed\":" << completed << ",\"rejected\":" << rejected
-        << ",\"prompt_tokens\":" << prompt_tokens
-        << ",\"output_tokens\":" << output_tokens
-        << ",\"prefill_steps\":" << prefill_steps
-        << ",\"decode_steps\":" << decode_steps
-        << ",\"preemptions\":" << preemptions
-        << ",\"makespan_ms\":" << detail::jsonNum(makespan_ms)
-        << ",\"throughput_tok_s\":" << detail::jsonNum(throughput_tok_s)
-        << ",\"request_per_s\":" << detail::jsonNum(request_per_s)
-        << ",\"goodput_req_s\":" << detail::jsonNum(goodput_req_s) << ",";
-    detail::appendSummary(oss, "ttft_ms", ttft);
-    oss << ",";
-    detail::appendSummary(oss, "tpot_ms", tpot);
-    oss << ",";
-    detail::appendSummary(oss, "latency_ms", latency);
-    oss << ",";
-    detail::appendSummary(oss, "queue_wait_ms", queue_wait);
-    oss << ",\"mean_queue_depth\":" << detail::jsonNum(mean_queue_depth)
-        << ",\"max_queue_depth\":" << max_queue_depth
-        << ",\"mean_decode_batch\":" << detail::jsonNum(mean_decode_batch)
-        << ",\"kv_page_tokens\":" << kv_page_tokens
-        << ",\"kv_capacity_tokens\":" << kv_capacity_tokens
-        << ",\"mean_kv_used_tokens\":" << detail::jsonNum(mean_kv_used_tokens)
-        << ",\"peak_kv_used_tokens\":" << peak_kv_used_tokens
-        << ",\"mean_kv_used_frac\":" << detail::jsonNum(mean_kv_used_frac)
-        << ",\"batch_histogram\":[";
-    for (size_t i = 0; i < batch_histogram.size(); ++i)
-        oss << (i ? "," : "") << batch_histogram[i];
-    oss << "]}";
-    return oss.str();
-}
+  public:
+    MetricTracker(double sketch_accuracy, double series_window_ms);
+
+    /** One engine step: [t0, t0+step_ms), with the queue depth and KV
+        occupancy in effect over the step, the decode batch size (0
+        for a prefill step), and tokens emitted by the step. */
+    void onStep(double t0_ms, double step_ms, int64_t queue_depth,
+                int64_t kv_used_tokens, int64_t decode_batch,
+                int64_t tokens_out);
+
+    /** One preemption at @p t_ms. */
+    void onPreempt(double t_ms);
+
+    /** A request reached Phase::kFinished at @p now_ms. */
+    void onFinish(const RequestState &state, double now_ms);
+
+    /** Derive report aggregates (summaries, rates, means, series) from
+        the accumulated state; @p busy_end_ms is the clock after the
+        last engine step (the makespan). */
+    void finalize(ServingReport &report, double busy_end_ms);
+
+  private:
+    obs::QuantileSketch ttft_;
+    obs::QuantileSketch tpot_;
+    obs::QuantileSketch latency_;
+    obs::QuantileSketch queue_wait_;
+    obs::TimeSeries series_;
+    int ch_throughput_ = -1;
+    int ch_queue_depth_ = -1;
+    int ch_decode_batch_ = -1;
+    int ch_kv_used_ = -1;
+    int ch_preempt_ = -1;
+
+    int64_t met_slo_ = 0;
+    int64_t prompt_tokens_ = 0;
+    int64_t output_tokens_ = 0;
+    double queue_depth_integral_ = 0;
+    double kv_used_integral_ = 0;
+    double decode_batch_sum_ = 0;
+    int64_t decode_steps_ = 0;
+};
 
 } // namespace serving
 } // namespace tilus

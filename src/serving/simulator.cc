@@ -221,9 +221,10 @@ Simulator::run(const Trace &trace)
             injectNext(0.0);
     }
 
-    double queue_depth_integral = 0;
-    double kv_used_integral = 0;
-    double decode_batch_sum = 0;
+    // Incremental accumulation: sketches and series absorb each finish
+    // and step as they happen — no per-request metric vectors.
+    MetricTracker tracker(options_.sketch_accuracy,
+                          options_.series_window_ms);
     double busy_end_ms = 0; ///< clock after the last engine step
     int64_t safety = 0;
 
@@ -289,6 +290,7 @@ Simulator::run(const Trace &trace)
             obs::Registry::instance()
                 .counter("serving_preemptions_total")
                 .add();
+            tracker.onPreempt(now);
             if (tracing)
                 tracer.asyncInstant(vpid, "request", "preempt", id, now);
             queued.push_front(id);
@@ -356,6 +358,8 @@ Simulator::run(const Trace &trace)
 
         std::vector<int64_t> done; // finished by this step
         double step_ms = 0;
+        int64_t step_tokens = 0; ///< output tokens emitted by this step
+        int64_t step_batch = 0;  ///< decode batch size (0 = prefill)
         if (!plan.prefill.empty()) {
             // One request per prefill step: the engine prices a chunk
             // by (new tokens, past context) of a single request.
@@ -411,6 +415,7 @@ Simulator::run(const Trace &trace)
                                             now + step_ms);
                 }
                 state.generated_tokens += 1;
+                step_tokens = 1;
                 if (state.generated_tokens == state.request.output_tokens)
                     done.push_back(chunk.id);
             }
@@ -436,7 +441,8 @@ Simulator::run(const Trace &trace)
                                   now + step_ms);
             }
             report.batch_histogram[batch] += 1;
-            decode_batch_sum += static_cast<double>(batch);
+            step_batch = batch;
+            step_tokens = batch;
             for (int64_t id : plan.decode) {
                 RequestState &state = states[id];
                 TILUS_CHECK(state.phase == Phase::kDecode);
@@ -455,9 +461,9 @@ Simulator::run(const Trace &trace)
             }
         }
 
-        queue_depth_integral +=
-            static_cast<double>(queued.size()) * step_ms;
-        kv_used_integral += static_cast<double>(kv_used_tokens) * step_ms;
+        tracker.onStep(now, step_ms,
+                       static_cast<int64_t>(queued.size()),
+                       kv_used_tokens, step_batch, step_tokens);
         report.peak_kv_used_tokens =
             std::max(report.peak_kv_used_tokens, kv_used_tokens);
         now += step_ms;
@@ -473,6 +479,7 @@ Simulator::run(const Trace &trace)
             RequestState &state = states[id];
             state.phase = Phase::kFinished;
             state.finish_ms = now;
+            tracker.onFinish(state, now);
             if (paged) {
                 pool.release(id);
             } else {
@@ -505,56 +512,18 @@ Simulator::run(const Trace &trace)
                                              << kv_used_tokens
                                              << " tokens still held");
 
-    // ------------------------------------------------------- aggregation
-    std::vector<double> ttft, tpot, latency, queue_wait;
-    int64_t met_slo = 0;
-    for (const RequestState &state : states) {
-        if (state.phase != Phase::kFinished)
-            continue;
-        const Request &request = state.request;
-        report.prompt_tokens += request.prompt_tokens;
-        report.output_tokens += state.generated_tokens;
-        ttft.push_back(state.first_token_ms - request.arrival_ms);
-        latency.push_back(state.finish_ms - request.arrival_ms);
-        queue_wait.push_back(state.admitted_ms - request.arrival_ms);
-        if (request.output_tokens > 1)
-            tpot.push_back(
-                (state.finish_ms - state.first_token_ms) /
-                static_cast<double>(request.output_tokens - 1));
-        if (request.slo_ms <= 0 ||
-            state.finish_ms - request.arrival_ms <= request.slo_ms)
-            ++met_slo;
-    }
-    report.ttft = summarize(ttft);
-    report.tpot = summarize(tpot);
-    report.latency = summarize(latency);
-    report.queue_wait = summarize(queue_wait);
-    // Makespan ends at the last engine step, not at a trailing idle
-    // jump (e.g. to a late-arriving rejected request).
-    report.makespan_ms = busy_end_ms;
-    if (busy_end_ms > 0) {
-        report.throughput_tok_s = static_cast<double>(
-                                      report.output_tokens) /
-                                  busy_end_ms * 1000.0;
-        report.request_per_s =
-            static_cast<double>(report.completed) / busy_end_ms * 1000.0;
-        report.goodput_req_s =
-            static_cast<double>(met_slo) / busy_end_ms * 1000.0;
-        report.mean_queue_depth = queue_depth_integral / busy_end_ms;
-        report.mean_kv_used_tokens = kv_used_integral / busy_end_ms;
-        if (report.kv_capacity_tokens > 0)
-            report.mean_kv_used_frac =
-                report.mean_kv_used_tokens /
-                static_cast<double>(report.kv_capacity_tokens);
-    }
-    if (report.decode_steps > 0)
-        report.mean_decode_batch =
-            decode_batch_sum / static_cast<double>(report.decode_steps);
+    // Every aggregate was accumulated incrementally; derive the report.
+    tracker.finalize(report, busy_end_ms);
+    // Per-window series counter tracks live next to the step spans in
+    // the run's virtual process (category "series", names "win:*").
+    if (tracing && report.series.enabled())
+        report.series.emitCounters(tracer, vpid);
     wall_span.arg("completed", report.completed)
         .arg("rejected", report.rejected)
         .arg("preemptions", report.preemptions)
         .arg("makespan_ms", report.makespan_ms);
-    report.requests = std::move(states);
+    if (options_.keep_request_states)
+        report.requests = std::move(states);
     return report;
 }
 

@@ -41,6 +41,20 @@ struct SimOptions
 
     /** Abort (SimError) when the virtual clock passes this; 0 = none. */
     double max_sim_ms = 0;
+
+    /** Relative-error bound of the report's latency sketches (TTFT /
+        TPOT / latency / queue-wait percentiles). */
+    double sketch_accuracy = obs::kDefaultSketchAccuracy;
+
+    /** Window width of the report's "series" block (virtual ms);
+        <= 0 disables the series. */
+    double series_window_ms = 1000.0;
+
+    /** Keep the per-request lifecycle vector on the report. Set false
+        for sketch-only mode: report memory stays O(1) in the request
+        count — required for 10^5+ request traces (bench_serving's
+        stress section gates on it). */
+    bool keep_request_states = true;
 };
 
 /** Derive scheduler limits from an engine's construction-time

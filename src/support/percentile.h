@@ -4,6 +4,13 @@
  * interpolated percentiles (the "linear" / type-7 definition used by
  * numpy and most monitoring stacks), so p50/p95/p99 tail latencies are
  * comparable with what a production dashboard would report.
+ *
+ * This is the exact-reference implementation: obs::QuantileSketch (the
+ * streaming approximation serving reports use at scale) is tested
+ * against these functions. Inputs pass by const reference; only
+ * percentile() copies — and only because it must sort. Callers that
+ * already hold sorted data (or need several percentiles of one sample)
+ * should sort once and use percentileOfSorted().
  */
 #pragma once
 
@@ -25,26 +32,41 @@ meanOf(const std::vector<double> &values)
 }
 
 /**
- * The @p pct-th percentile (0..100) of @p values by linear interpolation
- * between closest ranks. Sorts a copy; returns 0 for an empty sample.
+ * The @p pct-th percentile (0..100) of the ascending-sorted @p sorted
+ * by linear interpolation between closest ranks. No copy, no sort —
+ * the caller guarantees order. Returns 0 for an empty sample.
  */
 inline double
-percentile(std::vector<double> values, double pct)
+percentileOfSorted(const std::vector<double> &sorted, double pct)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (pct <= 0)
+        return sorted.front();
+    if (pct >= 100)
+        return sorted.back();
+    const double rank =
+        pct / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+/**
+ * The @p pct-th percentile (0..100) of unsorted @p values. Copies and
+ * sorts internally (the one place mutation is needed); returns 0 for
+ * an empty sample.
+ */
+inline double
+percentile(const std::vector<double> &values, double pct)
 {
     if (values.empty())
         return 0.0;
-    std::sort(values.begin(), values.end());
-    if (pct <= 0)
-        return values.front();
-    if (pct >= 100)
-        return values.back();
-    const double rank =
-        pct / 100.0 * static_cast<double>(values.size() - 1);
-    const size_t lo = static_cast<size_t>(rank);
-    const double frac = rank - static_cast<double>(lo);
-    if (lo + 1 >= values.size())
-        return values.back();
-    return values[lo] + frac * (values[lo + 1] - values[lo]);
+    std::vector<double> sorted(values);
+    std::sort(sorted.begin(), sorted.end());
+    return percentileOfSorted(sorted, pct);
 }
 
 } // namespace tilus

@@ -16,7 +16,11 @@
 
 #include "obs/build_info.h"
 #include "obs/metrics.h"
+#include "obs/sketch.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "support/percentile.h"
+#include "support/rng.h"
 
 using namespace tilus;
 
@@ -236,6 +240,7 @@ TEST(Metrics, JsonDumpIsSortedAndStable)
               "{\"counters\":{\"a_total\":1,\"b_total\":2},"
               "\"gauges\":{\"g\":1.5},"
               "\"histograms\":{\"h\":{\"count\":1,\"sum\":3,"
+              "\"p50\":3,\"p95\":3,\"p99\":3,"
               "\"buckets\":[[4,1]]}}}");
 }
 
@@ -256,6 +261,32 @@ TEST(Metrics, PrometheusDumpHasTypedFamilies)
     EXPECT_NE(prom.find("tilus_lat_bucket{le=\"+Inf\"} 1\n"),
               std::string::npos);
     EXPECT_NE(prom.find("tilus_lat_count 1\n"), std::string::npos);
+    // Bucket-estimated tails ride along as companion gauges.
+    EXPECT_NE(prom.find("# TYPE tilus_lat_p50 gauge\ntilus_lat_p50 3\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("tilus_lat_p99 3\n"), std::string::npos);
+}
+
+TEST(Metrics, HistogramQuantileInterpolatesWithinBuckets)
+{
+    obs::Histogram h;
+    EXPECT_DOUBLE_EQ(h.quantile(50), 0.0); // empty
+    // 8 samples in (4,8]: uniform-within-bucket placement puts sample
+    // k (0-based) at 4 + (k+0.5)/8 * 4.
+    for (int i = 0; i < 8; ++i)
+        h.observe(5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0), 4.25);
+    EXPECT_DOUBLE_EQ(h.quantile(100), 7.75);
+    // rank(50) = 3.5 -> within = 0.5 -> bucket midpoint.
+    EXPECT_DOUBLE_EQ(h.quantile(50), 6.0);
+    // A lone far-tail sample: p100's rank reaches the (512,1024]
+    // bucket (reported at its midpoint), p99 and p50 stay in the body.
+    for (int i = 0; i < 92; ++i)
+        h.observe(5.0);
+    h.observe(1000.0);
+    EXPECT_NEAR(h.quantile(100), 768.0, 1e-9);
+    EXPECT_NEAR(h.quantile(99), 7.98, 1e-9); // rank 99 of 101, in-bucket
+    EXPECT_NEAR(h.quantile(50), 6.02, 1e-9); // rank 50 of 101
 }
 
 TEST(Metrics, ConcurrentCountingLosesNothing)
@@ -306,4 +337,241 @@ TEST(BuildInfo, ProvenanceIsStamped)
     EXPECT_NE(json.find("\"cache_format_version\":1"),
               std::string::npos);
     EXPECT_NE(json.find("\"tune_db_version\":1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- sketch
+
+namespace {
+
+/** Relative distance of sketch estimate `got` from exact `want`. */
+double
+relErr(double got, double want)
+{
+    return want != 0 ? std::fabs(got - want) / std::fabs(want)
+                     : std::fabs(got);
+}
+
+/** Standard normal via Box-Muller over the deterministic Rng. */
+double
+nextGaussian(Rng &rng)
+{
+    const double u1 = 1.0 - rng.nextDouble(); // (0, 1]
+    const double u2 = rng.nextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+} // namespace
+
+TEST(Sketch, TailsWithinRelativeBoundOfExactPercentile)
+{
+    // The sketch's contract, checked against the exact-reference
+    // implementation in support/percentile.h on heavy-tailed and
+    // exponential samples (1e5 each): every reported tail is within
+    // the configured relative accuracy (plus a hair of interpolation
+    // slop — percentile() interpolates between adjacent order
+    // statistics, the sketch reports bucket estimates).
+    constexpr int kSamples = 100000;
+    constexpr double kAlpha = 0.01;
+    const double kSlop = kAlpha + 0.002;
+    {
+        Rng rng(2026);
+        obs::QuantileSketch sketch(kAlpha);
+        std::vector<double> exact;
+        exact.reserve(kSamples);
+        for (int i = 0; i < kSamples; ++i) {
+            const double v = std::exp(0.5 + nextGaussian(rng));
+            sketch.add(v);
+            exact.push_back(v);
+        }
+        std::sort(exact.begin(), exact.end());
+        for (double pct : {50.0, 95.0, 99.0}) {
+            const double want = percentileOfSorted(exact, pct);
+            EXPECT_LE(relErr(sketch.quantile(pct), want), kSlop)
+                << "lognormal p" << pct;
+        }
+        EXPECT_EQ(sketch.count(), kSamples);
+        EXPECT_DOUBLE_EQ(sketch.min(), exact.front());
+        EXPECT_DOUBLE_EQ(sketch.max(), exact.back());
+    }
+    {
+        Rng rng(7);
+        obs::QuantileSketch sketch(kAlpha);
+        std::vector<double> exact;
+        exact.reserve(kSamples);
+        for (int i = 0; i < kSamples; ++i) {
+            const double v = rng.nextExponential(250.0);
+            sketch.add(v);
+            exact.push_back(v);
+        }
+        std::sort(exact.begin(), exact.end());
+        for (double pct : {50.0, 95.0, 99.0}) {
+            const double want = percentileOfSorted(exact, pct);
+            EXPECT_LE(relErr(sketch.quantile(pct), want), kSlop)
+                << "exponential p" << pct;
+        }
+    }
+}
+
+TEST(Sketch, MergeOfShardsEqualsPooledBitExact)
+{
+    // Shard-merged == pooled, byte-for-byte in the JSON. Samples are
+    // dyadic rationals with bounded magnitude so every partial sum is
+    // exactly representable — fp addition is associative here and the
+    // exact running sums agree regardless of shard split.
+    constexpr int kSamples = 3000;
+    obs::QuantileSketch pooled;
+    obs::QuantileSketch shard[3];
+    for (int k = 0; k < kSamples; ++k) {
+        const double v = (1.0 + static_cast<double>(k % 1024) / 1024.0) *
+                         static_cast<double>(1 << (k % 7));
+        pooled.add(v);
+        shard[k % 3].add(v);
+    }
+    obs::QuantileSketch merged;
+    for (const obs::QuantileSketch &s : shard)
+        merged.merge(s);
+    EXPECT_EQ(merged.toJson(), pooled.toJson());
+    EXPECT_EQ(merged.count(), pooled.count());
+    EXPECT_DOUBLE_EQ(merged.sum(), pooled.sum());
+    for (double pct : {0.0, 50.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(merged.quantile(pct), pooled.quantile(pct));
+}
+
+TEST(Sketch, ZerosEmptyAndSingletonBehave)
+{
+    obs::QuantileSketch empty;
+    EXPECT_EQ(empty.count(), 0);
+    EXPECT_DOUBLE_EQ(empty.quantile(50), 0.0);
+    EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+
+    // All-zero samples must report exactly 0 tails (the serving
+    // queue-wait metric is frequently all zeros at low load).
+    obs::QuantileSketch zeros;
+    for (int i = 0; i < 10; ++i)
+        zeros.add(0.0);
+    EXPECT_DOUBLE_EQ(zeros.quantile(50), 0.0);
+    EXPECT_DOUBLE_EQ(zeros.quantile(99), 0.0);
+    EXPECT_EQ(zeros.zeroCount(), 10);
+
+    // A lone sample reports itself exactly: the bucket estimate is
+    // clamped to the observed [min, max].
+    obs::QuantileSketch one;
+    one.add(123.456);
+    for (double pct : {0.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(one.quantile(pct), 123.456);
+
+    // Mixed: zeros occupy the low ranks, positives the high ones.
+    obs::QuantileSketch mixed;
+    for (int i = 0; i < 90; ++i)
+        mixed.add(0.0);
+    for (int i = 0; i < 10; ++i)
+        mixed.add(1000.0);
+    EXPECT_DOUBLE_EQ(mixed.quantile(50), 0.0);
+    EXPECT_DOUBLE_EQ(mixed.quantile(99), 1000.0);
+}
+
+TEST(Sketch, StorageBoundedByDynamicRangeNotCount)
+{
+    // O(1) per sample and O(log(max/min)/alpha) total: 2e5 samples
+    // spanning seven decades must not allocate more than the bucket
+    // count the range dictates (~ ln(1e7)/ln(gamma) ~ 800 at 1%).
+    Rng rng(42);
+    obs::QuantileSketch sketch(0.01);
+    for (int i = 0; i < 200000; ++i)
+        sketch.add(1e-3 * std::pow(10.0, rng.nextDouble() * 7.0));
+    EXPECT_EQ(sketch.count(), 200000);
+    EXPECT_LT(sketch.allocatedBuckets(), 900);
+    EXPECT_GT(sketch.nonEmptyBuckets(), 100);
+}
+
+TEST(Sketch, GoldenJsonIsPinned)
+{
+    // alpha = 0.25 -> gamma = 5/3: index(1.0) = 0, index(2.0) = 2.
+    obs::QuantileSketch sketch(0.25);
+    sketch.add(1.0);
+    sketch.add(2.0);
+    sketch.add(0.0);
+    EXPECT_EQ(sketch.toJson(),
+              "{\"alpha\":0.25,\"count\":3,\"zero_count\":1,\"sum\":3,"
+              "\"min\":0,\"max\":2,\"buckets\":[[0,1],[2,1]]}");
+}
+
+// ------------------------------------------------------------ timeseries
+
+TEST(TimeSeries, WindowsAccumulateAndNormalize)
+{
+    obs::TimeSeries series(10.0);
+    using Kind = obs::TimeSeries::Kind;
+    const int rate = series.channel("rate", Kind::kRatePerSec);
+    const int events = series.channel("events", Kind::kCount);
+    const int depth = series.channel("depth", Kind::kMean);
+    series.add(rate, 1.0, 5);
+    series.add(rate, 12.0, 10);
+    series.add(events, 3.0, 1);
+    series.add(events, 25.0, 2);
+    series.integrate(depth, 0.0, 5.0, 2.0);   // 10 units into w0
+    series.integrate(depth, 15.0, 25.0, 3.0); // 15 into w1, 15 into w2
+    series.finalize(25.0);
+
+    ASSERT_EQ(series.windows(), 3);
+    // Rates normalize per second over the window actually covered.
+    EXPECT_DOUBLE_EQ(series.value(rate, 0), 500.0);
+    EXPECT_DOUBLE_EQ(series.value(rate, 1), 1000.0);
+    EXPECT_DOUBLE_EQ(series.value(rate, 2), 0.0);
+    // Counts stay raw.
+    EXPECT_DOUBLE_EQ(series.value(events, 0), 1.0);
+    EXPECT_DOUBLE_EQ(series.value(events, 2), 2.0);
+    // Means divide the integral by the effective window (the last
+    // window only spans [20, 25)).
+    EXPECT_DOUBLE_EQ(series.value(depth, 0), 1.0);
+    EXPECT_DOUBLE_EQ(series.value(depth, 1), 1.5);
+    EXPECT_DOUBLE_EQ(series.value(depth, 2), 3.0);
+    EXPECT_EQ(series.toJson(),
+              "{\"window_ms\":10,\"windows\":3,"
+              "\"rate\":[500,1000,0],"
+              "\"events\":[1,0,2],"
+              "\"depth\":[1,1.5,3]}");
+}
+
+TEST(TimeSeries, MergeAddsWindowsAndExtends)
+{
+    obs::TimeSeries a(10.0);
+    obs::TimeSeries b(10.0);
+    using Kind = obs::TimeSeries::Kind;
+    const int ar = a.channel("rate", Kind::kRatePerSec);
+    const int br = b.channel("rate", Kind::kRatePerSec);
+    const int bp = b.channel("preempt", Kind::kCount);
+    a.add(ar, 5.0, 10);
+    a.finalize(10.0);
+    b.add(br, 15.0, 30);
+    b.add(bp, 2.0, 1);
+    b.finalize(20.0);
+
+    a.merge(b);
+    ASSERT_EQ(a.windows(), 2);
+    EXPECT_DOUBLE_EQ(a.value(ar, 0), 1000.0); // 10 tokens over 10 ms
+    EXPECT_DOUBLE_EQ(a.value(ar, 1), 3000.0); // other's window rides in
+    // The channel only one side had is created on demand.
+    const int ap = a.channel("preempt", Kind::kCount);
+    EXPECT_DOUBLE_EQ(a.value(ap, 0), 1.0);
+
+    // Merging into a disabled series adopts the other wholesale.
+    obs::TimeSeries disabled;
+    disabled.merge(b);
+    EXPECT_TRUE(disabled.enabled());
+    EXPECT_EQ(disabled.windows(), 2);
+}
+
+TEST(TimeSeries, DisabledIsInertAndSerializesEmpty)
+{
+    obs::TimeSeries series;
+    EXPECT_FALSE(series.enabled());
+    const int ch =
+        series.channel("x", obs::TimeSeries::Kind::kCount);
+    EXPECT_EQ(ch, -1);
+    series.add(ch, 1.0, 1.0); // all mutators are no-ops
+    series.finalize(100.0);
+    EXPECT_EQ(series.windows(), 0);
+    EXPECT_EQ(series.toJson(), "{\"window_ms\":0,\"windows\":0}");
 }

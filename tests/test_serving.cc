@@ -16,7 +16,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <utility>
 
 #include "serving/simulator.h"
 #include "support/percentile.h"
@@ -802,6 +804,7 @@ TEST(Report, GoldenJsonSchemaIsPinned)
     report.total_requests = 2;
     report.completed = 2;
     report.rejected = 0;
+    report.met_slo = 2;
     report.prompt_tokens = 100;
     report.output_tokens = 10;
     report.prefill_steps = 2;
@@ -825,12 +828,24 @@ TEST(Report, GoldenJsonSchemaIsPinned)
     report.peak_kv_used_tokens = 200;
     report.mean_kv_used_frac = 0.5;
     report.batch_histogram = {0, 4, 2, 2};
+    // A populated series block: 5 ms windows over a 12.5 ms run (the
+    // last window covers only 2.5 ms and normalizes by that).
+    report.series = obs::TimeSeries(5.0);
+    const int ch_tok = report.series.channel(
+        "throughput_tok_s", obs::TimeSeries::Kind::kRatePerSec);
+    const int ch_queue = report.series.channel(
+        "queue_depth", obs::TimeSeries::Kind::kMean);
+    report.series.add(ch_tok, 1.0, 4);
+    report.series.add(ch_tok, 6.0, 4);
+    report.series.integrate(ch_queue, 0.0, 10.0, 1.0);
+    report.series.finalize(12.5);
 
     EXPECT_EQ(
         report.toJson(),
         "{\"scheduler\":\"golden\",\"system\":\"tilus\",\"model\":\"m\","
         "\"wdtype\":\"u4\",\"rate_rps\":4,\"seed\":7,"
         "\"total_requests\":2,\"completed\":2,\"rejected\":0,"
+        "\"met_slo\":2,"
         "\"prompt_tokens\":100,\"output_tokens\":10,\"prefill_steps\":2,"
         "\"decode_steps\":8,\"preemptions\":1,\"makespan_ms\":12.5,"
         "\"throughput_tok_s\":800,\"request_per_s\":160,"
@@ -844,7 +859,199 @@ TEST(Report, GoldenJsonSchemaIsPinned)
         "\"mean_decode_batch\":1.75,\"kv_page_tokens\":16,"
         "\"kv_capacity_tokens\":256,\"mean_kv_used_tokens\":128,"
         "\"peak_kv_used_tokens\":200,\"mean_kv_used_frac\":0.5,"
-        "\"batch_histogram\":[0,4,2,2]}");
+        "\"batch_histogram\":[0,4,2,2],"
+        "\"series\":{\"window_ms\":5,\"windows\":3,"
+        "\"throughput_tok_s\":[800,800,0],\"queue_depth\":[1,1,0]}}");
+}
+
+/** Assert sketch estimate @p got is within @p tol relative error of
+    exact @p want (absolute when want is 0 — all-zero distributions
+    must report exactly 0). */
+void
+expectWithin(double got, double want, double tol, const char *what)
+{
+    if (want == 0.0)
+        EXPECT_NEAR(got, 0.0, 1e-12) << what;
+    else
+        EXPECT_LE(std::fabs(got - want) / std::fabs(want), tol) << what;
+}
+
+/** Exact per-metric sample vectors from retained request states. */
+struct ExactSamples
+{
+    std::vector<double> ttft, tpot, latency, queue_wait;
+
+    void
+    append(const std::vector<RequestState> &states)
+    {
+        for (const RequestState &state : states) {
+            if (state.phase != Phase::kFinished)
+                continue;
+            const serving::Request &request = state.request;
+            ttft.push_back(state.first_token_ms - request.arrival_ms);
+            latency.push_back(state.finish_ms - request.arrival_ms);
+            queue_wait.push_back(state.admitted_ms - request.arrival_ms);
+            if (request.output_tokens > 1)
+                tpot.push_back(
+                    (state.finish_ms - state.first_token_ms) /
+                    static_cast<double>(request.output_tokens - 1));
+        }
+    }
+};
+
+TEST(Report, SketchTailsTrackExactRequestVectors)
+{
+    // The incrementally accumulated sketches must agree with the exact
+    // reference (support/percentile.h over the retained per-request
+    // states) within the configured relative accuracy, plus a hair of
+    // interpolation slop at 1000 samples.
+    FakeCost costs(8192, 8);
+    FcfsScheduler scheduler;
+    Simulator sim(costs, scheduler, exactOptions(costs));
+    TraceOptions topt;
+    topt.num_requests = 1000;
+    topt.rate_rps = 6;
+    topt.prompt_min = 16;
+    topt.prompt_max = 256;
+    const ServingReport report = sim.run(serving::poissonTrace(topt));
+    ASSERT_GT(report.completed, 900);
+
+    ExactSamples exact;
+    exact.append(report.requests);
+    const double tol = 0.012; // alpha = 0.01 + interpolation slop
+    const std::pair<const LatencySummary *, const std::vector<double> *>
+        metrics[] = {{&report.ttft, &exact.ttft},
+                     {&report.tpot, &exact.tpot},
+                     {&report.latency, &exact.latency},
+                     {&report.queue_wait, &exact.queue_wait}};
+    for (const auto &[summary, samples] : metrics) {
+        EXPECT_EQ(summary->count,
+                  static_cast<int64_t>(samples->size()));
+        EXPECT_DOUBLE_EQ(summary->mean, meanOf(*samples)); // exact sum
+        expectWithin(summary->p50, percentile(*samples, 50), tol, "p50");
+        expectWithin(summary->p95, percentile(*samples, 95), tol, "p95");
+        expectWithin(summary->p99, percentile(*samples, 99), tol, "p99");
+    }
+}
+
+TEST(Report, SketchOnlyModeDropsRequestStatesNotAggregates)
+{
+    // keep_request_states = false is the O(1)-memory path for 10^5+
+    // request traces: the report must carry no per-request vector yet
+    // serialize identically to a retained run of the same trace.
+    FakeCost costs(4096, 4);
+    TraceOptions topt;
+    topt.num_requests = 200;
+    const Trace trace = serving::poissonTrace(topt);
+
+    FcfsScheduler sched_a;
+    Simulator keep(costs, sched_a, exactOptions(costs));
+    const ServingReport with_states = keep.run(trace);
+
+    SimOptions lean_options = exactOptions(costs);
+    lean_options.keep_request_states = false;
+    FcfsScheduler sched_b;
+    Simulator lean(costs, sched_b, lean_options);
+    const ServingReport without = lean.run(trace);
+
+    EXPECT_FALSE(with_states.requests.empty());
+    EXPECT_TRUE(without.requests.empty());
+    EXPECT_EQ(with_states.toJson(), without.toJson());
+}
+
+TEST(Report, MergeReproducesPooledShardPercentiles)
+{
+    // Two disjoint request shards served by independent replicas:
+    // merging the two reports must reproduce the percentiles of the
+    // pooled samples within the sketch bound, and pool the counters.
+    FakeCost costs(8192, 8);
+    TraceOptions topt;
+    topt.num_requests = 500;
+    topt.rate_rps = 5;
+    topt.seed = 11;
+    FcfsScheduler sched_a;
+    Simulator sim_a(costs, sched_a, exactOptions(costs));
+    ServingReport merged = sim_a.run(serving::poissonTrace(topt));
+    topt.seed = 12;
+    FcfsScheduler sched_b;
+    Simulator sim_b(costs, sched_b, exactOptions(costs));
+    const ServingReport other = sim_b.run(serving::poissonTrace(topt));
+
+    ExactSamples pooled;
+    pooled.append(merged.requests);
+    pooled.append(other.requests);
+    const int64_t completed = merged.completed + other.completed;
+    const int64_t tokens = merged.output_tokens + other.output_tokens;
+    const double makespan =
+        std::max(merged.makespan_ms, other.makespan_ms);
+
+    merged.merge(other);
+    EXPECT_EQ(merged.completed, completed);
+    EXPECT_EQ(merged.output_tokens, tokens);
+    EXPECT_DOUBLE_EQ(merged.makespan_ms, makespan);
+    EXPECT_DOUBLE_EQ(merged.throughput_tok_s,
+                     static_cast<double>(tokens) / makespan * 1000.0);
+    EXPECT_EQ(merged.requests.size(), pooled.ttft.size());
+
+    const double tol = 0.012;
+    expectWithin(merged.ttft.p50, percentile(pooled.ttft, 50), tol,
+                 "ttft p50");
+    expectWithin(merged.ttft.p99, percentile(pooled.ttft, 99), tol,
+                 "ttft p99");
+    expectWithin(merged.latency.p95, percentile(pooled.latency, 95),
+                 tol, "latency p95");
+    expectWithin(merged.tpot.p50, percentile(pooled.tpot, 50), tol,
+                 "tpot p50");
+    EXPECT_DOUBLE_EQ(merged.latency.mean, meanOf(pooled.latency));
+}
+
+TEST(Report, SeriesWindowsAccountForRunTotals)
+{
+    // The per-window series must re-aggregate to the report totals:
+    // window token sums equal output_tokens, window integrals equal
+    // the time-weighted means times the makespan.
+    FakeCost costs(8192, 8);
+    FcfsScheduler scheduler;
+    SimOptions options = exactOptions(costs);
+    options.series_window_ms = 50.0;
+    Simulator sim(costs, scheduler, options);
+    TraceOptions topt;
+    topt.num_requests = 300;
+    ServingReport report = sim.run(serving::poissonTrace(topt));
+
+    ASSERT_TRUE(report.series.enabled());
+    ASSERT_EQ(report.series.windows(),
+              static_cast<int64_t>(
+                  std::ceil(report.makespan_ms / 50.0)));
+    using Kind = obs::TimeSeries::Kind;
+    const int ch_tok =
+        report.series.channel("throughput_tok_s", Kind::kRatePerSec);
+    const int ch_queue =
+        report.series.channel("queue_depth", Kind::kMean);
+    const int ch_kv =
+        report.series.channel("kv_used_tokens", Kind::kMean);
+    const int ch_preempt =
+        report.series.channel("preemptions", Kind::kCount);
+    double tok_sum = 0, queue_integral = 0, kv_integral = 0,
+           preempt_sum = 0;
+    for (int64_t w = 0; w < report.series.windows(); ++w) {
+        tok_sum += report.series.raw(ch_tok, w);
+        queue_integral += report.series.raw(ch_queue, w);
+        kv_integral += report.series.raw(ch_kv, w);
+        preempt_sum += report.series.raw(ch_preempt, w);
+    }
+    EXPECT_DOUBLE_EQ(tok_sum,
+                     static_cast<double>(report.output_tokens));
+    EXPECT_DOUBLE_EQ(preempt_sum,
+                     static_cast<double>(report.preemptions));
+    const double queue_want =
+        report.mean_queue_depth * report.makespan_ms;
+    EXPECT_NEAR(queue_integral, queue_want,
+                1e-9 * std::max(1.0, std::fabs(queue_want)));
+    const double kv_want =
+        report.mean_kv_used_tokens * report.makespan_ms;
+    EXPECT_NEAR(kv_integral, kv_want,
+                1e-9 * std::max(1.0, std::fabs(kv_want)));
 }
 
 } // namespace

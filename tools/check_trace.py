@@ -10,9 +10,12 @@ Checks (see src/obs/README.md for the emitter contract):
   * async b/n/e events are balanced per (pid, cat, id) and every n
     falls inside an open series;
   * counter (C) events carry a numeric "value" arg;
+  * per-window series counter tracks (category "series", names
+    "win:*", one sample per fixed window) have strictly increasing,
+    uniformly spaced timestamps per (pid, name) track;
   * spans from the required subsystem categories are present, on the
-    correct clock domain (wall categories on pid 1, serving/request
-    on virtual pids >= 2).
+    correct clock domain (wall categories on pid 1, serving/request/
+    series on virtual pids >= 2).
 
 Usage:
   check_trace.py TRACE.json
@@ -39,6 +42,7 @@ REQUIRED_CATS = {
     "cache": "wall",
     "serving": "any",  # wall simulate span + virtual step spans
     "request": "virtual",
+    "series": "virtual",  # per-window report series counter tracks
 }
 
 
@@ -70,6 +74,7 @@ def validate(path):
     last_ts = {}
     async_open = {}
     seen = {}  # cat -> set of pids
+    series_ts = {}  # (pid, name) -> [ts, ...] for cat "series" counters
 
     for i, e in enumerate(events):
         for key, types in (("cat", str), ("name", str), ("ph", str),
@@ -119,6 +124,11 @@ def validate(path):
             if not any(isinstance(v, (int, float)) and
                        not isinstance(v, bool) for v in args.values()):
                 fail(f"event {i}: counter without a numeric arg: {e}")
+            if cat == "series":
+                if not e["name"].startswith("win:"):
+                    fail(f"event {i}: series counter '{e['name']}' "
+                         f"must be named 'win:<channel>'")
+                series_ts.setdefault((pid, e["name"]), []).append(ts)
         else:
             fail(f"event {i}: unknown phase '{ph}'")
 
@@ -129,6 +139,20 @@ def validate(path):
     for series, depth in async_open.items():
         if depth != 0:
             fail(f"async series {series} ends unbalanced (depth {depth})")
+
+    # Series tracks: one sample per fixed window, so timestamps must be
+    # strictly increasing and uniformly spaced per (pid, name) track.
+    for (pid, name), stamps in series_ts.items():
+        spacing = None
+        for a, b in zip(stamps, stamps[1:]):
+            if b <= a:
+                fail(f"series track pid={pid} '{name}' timestamps not "
+                     f"strictly increasing: {a} then {b}")
+            if spacing is None:
+                spacing = b - a
+            elif abs((b - a) - spacing) > 1e-6 * max(spacing, 1.0):
+                fail(f"series track pid={pid} '{name}' windows not "
+                     f"uniformly spaced: {b - a} vs {spacing}")
 
     for cat, domain in REQUIRED_CATS.items():
         pids = seen.get(cat)
