@@ -36,6 +36,12 @@
  * recorded p50/p95/p99 land within the sketch's relative-accuracy bound
  * of the exact per-request vectors, and merging two disjoint 5*10^4
  * shards reproduces the pooled percentiles within the same bound.
+ *
+ * A final fault section replays the poisson-8 trace under an injected
+ * 1% engine-step fault rate (fault spec "serving.step=p0.01@13", see
+ * src/support/fault.h) and self-gates graceful degradation: the report
+ * stays internally consistent, goodput retains >= 60% of the fault-free
+ * run, and the retry budget keeps availability >= 0.9.
  */
 #include <algorithm>
 #include <cmath>
@@ -49,6 +55,7 @@
 #include "obs/build_info.h"
 #include "serving/simulator.h"
 #include "sim/gpu_spec.h"
+#include "support/fault.h"
 
 using namespace tilus;
 using namespace tilus::bench;
@@ -407,6 +414,123 @@ runStressSection()
     return out;
 }
 
+//
+// Fault section: goodput under an injected 1% step-fault rate.
+//
+
+/** The spec the fault run arms: every engine step fails with p=0.01
+    from a fixed seeded stream, so the schedule is reproducible. */
+constexpr const char *kFaultSpec = "serving.step=p0.01@13";
+constexpr double kFaultRate = 0.01;
+
+/** Goodput under the 1% fault rate must retain at least this fraction
+    of the fault-free run's: faulted steps burn time and retries add
+    backoff, but the degradation must stay proportionate — a collapse
+    here means eviction/re-queue is losing more work than the faults
+    themselves destroy. */
+constexpr double kFaultGoodputFloor = 0.60;
+
+/** Nearly every request must still complete: with the default retry
+    budget (3), a request only fails on repeated per-request faults. */
+constexpr double kFaultAvailabilityFloor = 0.90;
+
+struct FaultSectionResult
+{
+    std::string evidence; ///< JSON block recorded under "faults"
+    bool ok = true;
+};
+
+FaultSectionResult
+runFaultSection()
+{
+    printHeader("Faults: goodput under a 1% injected step-fault rate "
+                "(paged FCFS, poisson-8)");
+    FaultSectionResult out;
+
+    runtime::Runtime rt(sim::l40s());
+    llm::EngineOptions eopts;
+    eopts.system = baselines::System::kTilus;
+    eopts.wdtype = uint4();
+    llm::ServingEngine engine(rt, llm::gemma2_9b(), eopts);
+    const serving::Trace trace =
+        serving::poissonTrace(heavyTraceOptions(8.0));
+
+    auto run = [&]() {
+        serving::PagedFcfsScheduler scheduler;
+        serving::SimOptions options;
+        options.limits = serving::pagedLimitsFrom(engine);
+        options.limits.max_batch = kServeMaxBatch;
+        serving::Simulator simulator(engine, scheduler, options);
+        simulator.warmUp();
+        serving::ServingReport report = simulator.run(trace);
+        report.system = "Tilus u4";
+        report.model = engine.model().name + "/poisson-8-faults";
+        report.wdtype = engine.options().wdtype.name();
+        report.rate_rps = 8.0;
+        report.seed = kSeed;
+        return report;
+    };
+
+    fault::disarm();
+    const serving::ServingReport clean = run();
+    fault::configure(kFaultSpec);
+    const serving::ServingReport faulted = run();
+    fault::disarm();
+
+    // Gate F1: faults actually fired and the report stays consistent —
+    // every request reached exactly one terminal state.
+    if (faulted.injected_faults <= 0 ||
+        faulted.completed + faulted.rejected + faulted.failed !=
+            faulted.total_requests) {
+        std::printf("  ^ GATE FAIL: inconsistent fault run: %lld "
+                    "injected, %lld+%lld+%lld of %lld terminal\n",
+                    (long long)faulted.injected_faults,
+                    (long long)faulted.completed,
+                    (long long)faulted.rejected,
+                    (long long)faulted.failed,
+                    (long long)faulted.total_requests);
+        out.ok = false;
+    }
+
+    // Gate F2: goodput degrades proportionately, not catastrophically.
+    const double goodput_frac =
+        clean.goodput_req_s > 0
+            ? faulted.goodput_req_s / clean.goodput_req_s
+            : 0.0;
+    if (goodput_frac < kFaultGoodputFloor) {
+        std::printf("  ^ GATE FAIL: goodput under faults %.3f of "
+                    "fault-free (floor %.2f)\n",
+                    goodput_frac, kFaultGoodputFloor);
+        out.ok = false;
+    }
+
+    // Gate F3: the retry budget absorbs a 1% rate almost entirely.
+    if (faulted.availability < kFaultAvailabilityFloor) {
+        std::printf("  ^ GATE FAIL: availability %.3f under floor %.2f\n",
+                    faulted.availability, kFaultAvailabilityFloor);
+        out.ok = false;
+    }
+
+    std::printf("fault-free: %.2f goodput req/s | under %s: %.2f "
+                "(%.0f%%), %lld faults, %lld retries, %lld failed, "
+                "availability %.3f\n",
+                clean.goodput_req_s, kFaultSpec, faulted.goodput_req_s,
+                100.0 * goodput_frac, (long long)faulted.injected_faults,
+                (long long)faulted.retries, (long long)faulted.failed,
+                faulted.availability);
+
+    std::ostringstream ev;
+    ev << "{\"step_fault_rate\":" << kFaultRate << ",\"spec\":\""
+       << kFaultSpec << "\",\"injected\":" << faulted.injected_faults
+       << ",\"fault_free_goodput_req_s\":" << clean.goodput_req_s
+       << ",\"goodput_frac\":" << goodput_frac
+       << ",\"goodput_floor\":" << kFaultGoodputFloor
+       << ",\"availability_floor\":" << kFaultAvailabilityFloor
+       << ",\"report\":" << faulted.toJson() << "}";
+    out.evidence = ev.str();
+    return out;
+}
+
 } // namespace
 
 int
@@ -510,6 +634,10 @@ main(int argc, char **argv)
     if (!stress.ok)
         gates_ok = false;
 
+    FaultSectionResult faults = runFaultSection();
+    if (!faults.ok)
+        gates_ok = false;
+
     std::printf("\nPoisson traces carry a uniform %.0f ms SLO; the "
                 "bursty trace mixes %.0f ms interactive and best-effort "
                 "classes.\ngoodput = completions inside their SLO per "
@@ -528,7 +656,8 @@ main(int argc, char **argv)
     for (size_t i = 0; i < reports.size(); ++i)
         json << "  " << reports[i].toJson()
              << (i + 1 < reports.size() ? ",\n" : "\n");
-    json << "],\"stress\":" << stress.evidence << "}\n";
+    json << "],\"stress\":" << stress.evidence
+         << ",\"faults\":" << faults.evidence << "}\n";
     if (argc > 1) {
         std::ofstream out(argv[1]);
         out << json.str();

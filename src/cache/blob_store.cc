@@ -1,7 +1,9 @@
 #include "cache/blob_store.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -9,6 +11,9 @@
 
 #include "cache/codec.h"
 #include "cache/fingerprint.h"
+#include "obs/metrics.h"
+#include "support/fault.h"
+#include "support/retry.h"
 
 namespace tilus {
 namespace cache {
@@ -65,6 +70,13 @@ readBlobFile(const std::string &path, uint32_t magic, uint32_t version,
             *why = reason;
         return BlobRead::kCorrupt;
     };
+    if (fault::maybeFail("cache.disk.read"))
+        return corrupt("injected read I/O error");
+    // Silent media corruption: flip one bit mid-blob and let the normal
+    // verification catch it — exercises the same reject path real
+    // damage would.
+    if (!blob.empty() && fault::maybeFail("cache.disk.corrupt"))
+        blob[blob.size() / 2] ^= 0x01;
     ByteReader header(blob);
     if (blob.size() < kHeaderBytes)
         return corrupt("truncated header");
@@ -81,6 +93,68 @@ readBlobFile(const std::string &path, uint32_t magic, uint32_t version,
     return BlobRead::kHit;
 }
 
+namespace {
+
+/**
+ * One write+fsync+rename attempt. Any failure — real or injected —
+ * unlinks the temp file before returning, so a failed attempt never
+ * leaves an orphan for the retry (or a later process) to trip over.
+ */
+bool
+writeBlobOnce(const std::string &tmp, const std::string &path,
+              const std::string &blob)
+{
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+
+    // An injected write failure stops after half the bytes: the torn
+    // temp file is exactly what a full disk or a crash would leave, so
+    // the cleanup path gets tested against realistic damage.
+    const bool injected = fault::maybeFail("cache.disk.write");
+    const size_t limit = injected ? blob.size() / 2 : blob.size();
+
+    bool ok = true;
+    size_t off = 0;
+    while (off < limit) {
+        const ssize_t n = ::write(fd, blob.data() + off, limit - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ok = false;
+            break;
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (injected)
+        ok = false;
+    // fsync before rename: without it a power cut after the rename can
+    // surface a zero-length or torn entry that only the content hash
+    // catches; with it the rename only ever publishes durable bytes.
+    if (ok && ::fsync(fd) != 0)
+        ok = false;
+    if (::close(fd) != 0)
+        ok = false;
+    if (!ok) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+
+    if (fault::maybeFail("cache.disk.rename")) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
 bool
 writeBlobAtomic(const std::string &path, uint32_t magic,
                 uint32_t version, const std::string &payload)
@@ -93,26 +167,20 @@ writeBlobAtomic(const std::string &path, uint32_t magic,
     putU64(blob, payloadHash(payload));
     blob += payload;
 
-    std::string tmp =
+    const std::string tmp =
         path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            return false;
-        out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-        if (!out) {
-            out.close();
-            std::remove(tmp.c_str());
-            return false;
-        }
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+
+    // Transient failures (injected or real) get a bounded retry with
+    // exponential backoff; persistent ones surface as false and the
+    // caller skips the store.
+    support::RetryPolicy policy;
+    return support::retryWithBackoff(policy, [&](int attempt) {
+        if (attempt > 1)
+            obs::Registry::instance()
+                .counter("cache_blob_write_retries_total")
+                .add(1);
+        return writeBlobOnce(tmp, path, blob);
+    });
 }
 
 } // namespace cache

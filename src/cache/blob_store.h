@@ -42,11 +42,19 @@ BlobRead readBlobFile(const std::string &path, uint32_t magic,
                       std::string *why);
 
 /**
- * Write header + payload to a pid-suffixed temp file and rename it
- * into place: readers never observe partial blobs, and racing writers
- * of one content-addressed path write identical bytes, so
- * last-rename-wins is harmless. Returns false on any I/O failure
+ * Write header + payload to a pid-suffixed temp file, fsync it, and
+ * rename it into place: readers never observe partial blobs, a torn
+ * write can't be published (the rename only follows a successful
+ * fsync), and racing writers of one content-addressed path write
+ * identical bytes, so last-rename-wins is harmless. Transient failures
+ * get a bounded exponential-backoff retry; every failed attempt —
+ * including an injected one — unlinks its temp file, so no orphans
+ * accumulate. Returns false when the retry budget is exhausted
  * (best-effort callers just skip the store).
+ *
+ * Fault sites: "cache.disk.read" (read I/O error), "cache.disk.corrupt"
+ * (one-bit payload flip), "cache.disk.write" (torn write),
+ * "cache.disk.rename" (publish failure). See src/support/fault.h.
  */
 bool writeBlobAtomic(const std::string &path, uint32_t magic,
                      uint32_t version, const std::string &payload);

@@ -54,8 +54,16 @@ parallelFor(int64_t n, const std::function<void(int64_t)> &fn,
     std::atomic<int64_t> next{0};
     std::atomic<bool> failed{false};
     std::exception_ptr first_error;
+    int64_t first_error_index = -1;
     std::mutex error_mutex;
 
+    // Deterministic first-error: indices are claimed strictly in order,
+    // so every index below any claimed one was claimed too, and every
+    // claimed task runs to completion and records its failure below.
+    // Keeping the *lowest-index* failure therefore always propagates
+    // the same exception for the same inputs, regardless of which
+    // thread loses the race — fault-injection tests assert on the
+    // message.
     auto worker = [&]() {
         while (!failed.load(std::memory_order_relaxed)) {
             int64_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -66,8 +74,10 @@ parallelFor(int64_t n, const std::function<void(int64_t)> &fn,
                 fn(i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
+                if (first_error_index < 0 || i < first_error_index) {
+                    first_error_index = i;
                     first_error = std::current_exception();
+                }
                 failed.store(true, std::memory_order_relaxed);
                 return;
             }

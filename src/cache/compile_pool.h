@@ -27,9 +27,11 @@ int compileThreads();
 
 /**
  * Run fn(0..n-1) across worker threads ( @p threads <= 0 means
- * compileThreads() ). Blocks until every index completed. The first
- * exception thrown by any invocation is rethrown here after all workers
- * join; remaining indices may be skipped once an exception is recorded.
+ * compileThreads() ). Blocks until every index completed. The
+ * *lowest-index* exception thrown by any invocation is rethrown here
+ * after all workers join — deterministic for deterministic inputs, so
+ * callers (and fault-injection tests) can assert on the message;
+ * remaining indices may be skipped once an exception is recorded.
  */
 void parallelFor(int64_t n, const std::function<void(int64_t)> &fn,
                  int threads = 0);

@@ -304,6 +304,22 @@ Tracer::end(const char *cat, const std::string &name, const Args &args)
     emit(std::move(e));
 }
 
+void
+Tracer::instant(const char *cat, const std::string &name, const Args &args)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.ph = 'i';
+    e.pid = 1;
+    e.ts_us = nowUs();
+    e.cat = cat;
+    e.name = name;
+    if (!args.empty())
+        e.args_json = args.render();
+    emit(std::move(e));
+}
+
 int
 Tracer::virtualProcess(const std::string &name)
 {

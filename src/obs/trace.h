@@ -69,7 +69,7 @@ class Args
 /** One trace event; normally built via Tracer/Span helpers. */
 struct TraceEvent
 {
-    char ph = 'B';      ///< B E (spans), b n e (async), C (counter), M
+    char ph = 'B';      ///< B E (spans), b n e (async), i (instant), C, M
     int32_t pid = 1;    ///< 1 = wall clock; >= 2 = virtual clock domains
     int32_t tid = -1;   ///< -1 = resolve to the emitting thread's track
     uint64_t id = 0;    ///< async series id (ph b/n/e only)
@@ -124,6 +124,10 @@ class Tracer
     // ---------------------------------------------- wall-clock helpers
     void begin(const char *cat, const std::string &name);
     void end(const char *cat, const std::string &name, const Args &args);
+    /** Wall-clock instant event (ph 'i', thread scope) — marks a point
+        occurrence such as a fault injection; carries @p args. */
+    void instant(const char *cat, const std::string &name,
+                 const Args &args = {});
 
     // ------------------------------------------- virtual-clock helpers
     /**

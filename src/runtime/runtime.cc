@@ -3,9 +3,77 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/error.h"
+#include "support/fault.h"
+#include "support/logging.h"
 
 namespace tilus {
 namespace runtime {
+
+namespace {
+
+/**
+ * Compile with bounded retry and graceful degradation: up to two
+ * attempts at the requested opt level (fault site "compile.kernel" is
+ * probed per attempt), then — when the requested level is above O0 —
+ * one O0 attempt, sacrificing optimization to keep serving rather than
+ * failing the kernel outright. Only when that also fails does a
+ * structured CompileError surface, carrying the program name, the
+ * attempt count, and the first underlying error. Sets @p degraded so
+ * the caller can keep O0 fallbacks out of the fingerprint-keyed disk
+ * cache (a later healthy process must not be served the degraded
+ * build). PanicErrors (internal bugs) are never retried or degraded.
+ */
+std::unique_ptr<lir::Kernel>
+compileWithRetry(const ir::Program &program,
+                 const compiler::CompileOptions &options, bool *degraded)
+{
+    constexpr int kAttempts = 2;
+    auto &reg = obs::Registry::instance();
+    std::string first_error;
+    int attempts = 0;
+    for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+        try {
+            ++attempts;
+            fault::maybeThrow("compile.kernel");
+            return std::make_unique<lir::Kernel>(
+                compiler::compile(program, options));
+        } catch (const PanicError &) {
+            throw;
+        } catch (const TilusError &e) {
+            if (first_error.empty())
+                first_error = e.what();
+            reg.counter("compile_attempt_failures_total").add(1);
+            if (attempt < kAttempts)
+                reg.counter("compile_retries_total").add(1);
+        }
+    }
+    if (options.opt_level != compiler::OptLevel::O0) {
+        compiler::CompileOptions o0 = options;
+        o0.opt_level = compiler::OptLevel::O0;
+        try {
+            ++attempts;
+            fault::maybeThrow("compile.kernel");
+            auto kernel = std::make_unique<lir::Kernel>(
+                compiler::compile(program, o0));
+            reg.counter("compile_o0_degrades_total").add(1);
+            warn("compile: kernel '" + program.name +
+                 "' degraded to O0 after " + std::to_string(kAttempts) +
+                 " failed attempts: " + first_error);
+            *degraded = true;
+            return kernel;
+        } catch (const PanicError &) {
+            throw;
+        } catch (const TilusError &) {
+            reg.counter("compile_attempt_failures_total").add(1);
+        }
+    }
+    throw CompileError("kernel '" + program.name + "': compile failed after " +
+                       std::to_string(attempts) + " attempts" +
+                       (attempts > kAttempts ? " (including O0 degrade)" : "") +
+                       ": " + first_error);
+}
+
+} // namespace
 
 DeviceTensor
 Runtime::alloc(DataType dtype, std::vector<int64_t> shape)
@@ -60,14 +128,16 @@ Runtime::getOrCompile(const ir::Program &program,
     // concurrently. A lost race on insertion just discards a duplicate.
     CachedKernel entry;
     bool from_disk = false;
+    bool degraded = false;
     if (disk_cache_) {
         entry.kernel = disk_cache_->load(fp);
         from_disk = entry.kernel != nullptr;
     }
     if (!entry.kernel)
-        entry.kernel = std::make_unique<lir::Kernel>(
-            compiler::compile(program, options));
-    span.arg("outcome", from_disk ? "disk-hit" : "compiled");
+        entry.kernel = compileWithRetry(program, options, &degraded);
+    span.arg("outcome", from_disk  ? "disk-hit"
+                        : degraded ? "compiled-degraded"
+                                   : "compiled");
 
     const lir::Kernel *result;
     bool persist = false;
@@ -84,7 +154,11 @@ Runtime::getOrCompile(const ir::Program &program,
         TILUS_CHECK(inserted);
         entries_.emplace(pos->second.kernel.get(), &pos->second);
         result = pos->second.kernel.get();
-        persist = !from_disk && disk_cache_ != nullptr;
+        // A degraded (O0-fallback) kernel is fingerprinted under the
+        // *requested* options; persisting it would serve the degraded
+        // build to every later healthy process, so it stays in memory
+        // only.
+        persist = !from_disk && !degraded && disk_cache_ != nullptr;
     }
     if (persist) // I/O off the lock; map nodes are address-stable
         disk_cache_->store(fp, *result);

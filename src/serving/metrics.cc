@@ -29,6 +29,9 @@ ServingReport::merge(const ServingReport &other)
     total_requests += other.total_requests;
     completed += other.completed;
     rejected += other.rejected;
+    failed += other.failed;
+    retries += other.retries;
+    injected_faults += other.injected_faults;
     met_slo += other.met_slo;
     prompt_tokens += other.prompt_tokens;
     output_tokens += other.output_tokens;
@@ -65,6 +68,10 @@ ServingReport::merge(const ServingReport &other)
     if (decode_steps > 0)
         mean_decode_batch =
             batch_sum / static_cast<double>(decode_steps);
+    availability = completed + failed > 0
+                       ? static_cast<double>(completed) /
+                             static_cast<double>(completed + failed)
+                       : 1.0;
 
     // Distributions: merging the sketches yields exactly the sketch of
     // the pooled sample stream; re-derive the summaries from them.
@@ -108,6 +115,8 @@ ServingReport::toJson() const
         << "\",\"rate_rps\":" << detail::jsonNum(rate_rps)
         << ",\"seed\":" << seed << ",\"total_requests\":" << total_requests
         << ",\"completed\":" << completed << ",\"rejected\":" << rejected
+        << ",\"failed\":" << failed << ",\"retries\":" << retries
+        << ",\"injected_faults\":" << injected_faults
         << ",\"met_slo\":" << met_slo
         << ",\"prompt_tokens\":" << prompt_tokens
         << ",\"output_tokens\":" << output_tokens
@@ -117,7 +126,8 @@ ServingReport::toJson() const
         << ",\"makespan_ms\":" << detail::jsonNum(makespan_ms)
         << ",\"throughput_tok_s\":" << detail::jsonNum(throughput_tok_s)
         << ",\"request_per_s\":" << detail::jsonNum(request_per_s)
-        << ",\"goodput_req_s\":" << detail::jsonNum(goodput_req_s) << ",";
+        << ",\"goodput_req_s\":" << detail::jsonNum(goodput_req_s)
+        << ",\"availability\":" << detail::jsonNum(availability) << ",";
     detail::appendSummary(oss, "ttft_ms", ttft);
     oss << ",";
     detail::appendSummary(oss, "tpot_ms", tpot);

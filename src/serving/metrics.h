@@ -77,6 +77,9 @@ struct ServingReport
     int64_t total_requests = 0;
     int64_t completed = 0;
     int64_t rejected = 0;   ///< demand exceeded capacity outright
+    int64_t failed = 0;     ///< step-fault retry budget exhausted
+    int64_t retries = 0;    ///< faulted steps that were re-queued
+    int64_t injected_faults = 0; ///< engine-step faults injected this run
     int64_t met_slo = 0;    ///< completions inside their SLO (or no SLO)
     int64_t prompt_tokens = 0;  ///< prompt tokens of completed requests
     int64_t output_tokens = 0;  ///< tokens generated for completed requests
@@ -89,6 +92,10 @@ struct ServingReport
     double throughput_tok_s = 0;  ///< output tokens per second
     double request_per_s = 0;     ///< completed requests per second
     double goodput_req_s = 0;     ///< completions meeting their SLO, per s
+    /** completed / (completed + failed): the fraction of non-rejected
+        terminal requests that were actually served. 1.0 when no request
+        reached a terminal serving state (vacuously available). */
+    double availability = 1.0;
 
     // Distributions (ms over completed requests): the summaries are
     // derived from the sketches (exact count/mean, tails within the
@@ -134,7 +141,9 @@ struct ServingReport
      * shard) into this one, producing a fleet-level report:
      *  - identity fields keep this report's values (callers label the
      *    fleet); rate_rps adds (total offered load);
-     *  - volume counters, token counts, steps, preemptions add;
+     *  - volume counters, token counts, steps, preemptions, failures,
+     *    retries, and injected faults add; availability is recomputed
+     *    from the pooled completed/failed totals;
      *  - sketches and series merge, summaries are re-derived, so the
      *    merged percentiles equal a sketch over the pooled samples;
      *  - makespan is the max (replicas run concurrently); throughput /

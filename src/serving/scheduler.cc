@@ -17,6 +17,7 @@ phaseName(Phase phase)
       case Phase::kDecode: return "decode";
       case Phase::kFinished: return "finished";
       case Phase::kRejected: return "rejected";
+      case Phase::kFailed: return "failed";
     }
     return "?";
 }

@@ -50,6 +50,7 @@ enum class Phase
     kDecode,   ///< prompt done, generating tokens
     kFinished, ///< all output tokens produced
     kRejected, ///< can never fit the engine (demand > capacity)
+    kFailed,   ///< step-fault retry budget exhausted (see simulator.h)
 };
 
 const char *phaseName(Phase phase);
@@ -63,6 +64,7 @@ struct RequestState
     int64_t generated_tokens = 0;  ///< output tokens produced so far
     int64_t kv_tokens = 0;         ///< KV entries materialized right now
     int64_t preemptions = 0;       ///< times this request was preempted
+    int64_t fault_retries = 0;     ///< engine-step faults this request ate
     double admitted_ms = -1;       ///< first admission (queue-wait anchor)
     double first_token_ms = -1;
     double finish_ms = -1;

@@ -1,11 +1,14 @@
 #include "serving/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
+#include <queue>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/error.h"
+#include "support/fault.h"
 #include "support/math_util.h"
 
 namespace tilus {
@@ -165,6 +168,13 @@ Simulator::run(const Trace &trace)
 
     std::deque<int64_t> queued;
     std::vector<int64_t> running;
+    // Step-faulted requests serving their retry backoff: a min-heap of
+    // (eligible_ms, id). Invisible to the policy until eligible, when
+    // they re-enter the queue *tail* (a retry is a fresh submission,
+    // not a preemption resume).
+    using Delayed = std::pair<double, int64_t>;
+    std::priority_queue<Delayed, std::vector<Delayed>, std::greater<Delayed>>
+        delayed;
     int64_t kv_reserved = 0;    ///< reservation mode: sum of demands
     int64_t kv_used_tokens = 0; ///< both modes: materialized KV entries
     int64_t finished = 0;
@@ -232,6 +242,10 @@ Simulator::run(const Trace &trace)
         TILUS_CHECK_MSG(++safety < (1 << 26),
                         "serving event loop failed to converge");
 
+        while (!delayed.empty() && delayed.top().first <= now) {
+            queued.push_back(delayed.top().second);
+            delayed.pop();
+        }
         if (!closed_loop) {
             while (next_arrival < arrival_order.size() &&
                    states[arrival_order[next_arrival]].request.arrival_ms <=
@@ -340,12 +354,18 @@ Simulator::run(const Trace &trace)
                            scheduler_.name()
                                << " preempted or admitted without "
                                   "planning a step");
-            // Nothing runnable: jump to the next arrival, or fail loudly
-            // on a policy deadlock (work exists but none was planned).
-            if (!closed_loop && next_arrival < arrival_order.size()) {
-                now = std::max(
-                    now, states[arrival_order[next_arrival]]
-                             .request.arrival_ms);
+            // Nothing runnable: jump to the next event that can make
+            // work — an arrival or a retry becoming eligible — or fail
+            // loudly on a policy deadlock (work exists, none planned).
+            double next_event = -1;
+            if (!closed_loop && next_arrival < arrival_order.size())
+                next_event = states[arrival_order[next_arrival]]
+                                 .request.arrival_ms;
+            if (!delayed.empty() &&
+                (next_event < 0 || delayed.top().first < next_event))
+                next_event = delayed.top().first;
+            if (next_event >= 0) {
+                now = std::max(now, next_event);
                 continue;
             }
             TILUS_FATAL_IF(!queued.empty() || !running.empty(),
@@ -360,7 +380,78 @@ Simulator::run(const Trace &trace)
         double step_ms = 0;
         int64_t step_tokens = 0; ///< output tokens emitted by this step
         int64_t step_batch = 0;  ///< decode batch size (0 = prefill)
-        if (!plan.prefill.empty()) {
+        // Step-fault process: when the "serving.step" fault site fires,
+        // this engine step fails after burning its full cost — no
+        // tokens are produced and no KV grows. The victim (the prefill
+        // request, or the head of the decode batch) drops its KV like a
+        // preemption and either re-queues with backoff-delayed
+        // eligibility or, past the retry budget, terminates as
+        // Phase::kFailed. Other decode-batch members keep their state
+        // and simply retry on the next step.
+        const bool step_fault = fault::maybeFail("serving.step");
+        if (step_fault) {
+            const bool was_prefill = !plan.prefill.empty();
+            const int64_t victim = was_prefill ? plan.prefill.front().id
+                                               : plan.decode.front();
+            RequestState &state = states[victim];
+            step_ms =
+                was_prefill
+                    ? prefillCostMs(plan.prefill.front().tokens,
+                                    state.prefilled_tokens)
+                    : decodeCostMs(
+                          static_cast<int64_t>(plan.decode.size()));
+            ++report.injected_faults;
+            obs::Registry::instance()
+                .counter("serving_step_faults_total")
+                .add();
+            if (tracing)
+                tracer.asyncInstant(vpid, "request", "step-fault", victim,
+                                    now);
+
+            auto it = std::find(running.begin(), running.end(), victim);
+            TILUS_CHECK(it != running.end());
+            running.erase(it);
+            if (paged)
+                pool.release(victim);
+            else
+                kv_reserved -= state.kvDemandTokens();
+            kv_used_tokens -= state.kv_tokens;
+            state.kv_tokens = 0;
+            state.prefilled_tokens = 0;
+            state.prefill_target_tokens =
+                state.request.prompt_tokens + state.generated_tokens;
+            ++state.fault_retries;
+
+            const auto &policy = options_.step_faults;
+            if (state.fault_retries > policy.max_retries) {
+                state.phase = Phase::kFailed;
+                state.finish_ms = now + step_ms;
+                ++finished;
+                ++report.failed;
+                obs::Registry::instance()
+                    .counter("serving_failed_total")
+                    .add();
+                if (tracing) {
+                    tracer.asyncInstant(vpid, "request", "failed", victim,
+                                        now + step_ms);
+                    tracer.asyncEnd(vpid, "request",
+                                    reqName(state.request), victim,
+                                    now + step_ms);
+                }
+                // A failed request frees its closed-loop client just
+                // like a completion does.
+                if (closed_loop)
+                    injectNext(now + step_ms);
+            } else {
+                state.phase = Phase::kQueued;
+                ++report.retries;
+                const double backoff =
+                    policy.backoff_base_ms *
+                    std::pow(policy.backoff_mult,
+                             static_cast<double>(state.fault_retries - 1));
+                delayed.emplace(now + step_ms + backoff, victim);
+            }
+        } else if (!plan.prefill.empty()) {
             // One request per prefill step: the engine prices a chunk
             // by (new tokens, past context) of a single request.
             TILUS_FATAL_IF(plan.prefill.size() > 1,
@@ -511,15 +602,27 @@ Simulator::run(const Trace &trace)
                                              << " pages / "
                                              << kv_used_tokens
                                              << " tokens still held");
+    // Every delayed retry must have re-queued and reached a terminal
+    // phase before the loop can count every request finished.
+    TILUS_CHECK_MSG(delayed.empty(), "retry backlog leaked "
+                                         << delayed.size()
+                                         << " delayed requests");
 
     // Every aggregate was accumulated incrementally; derive the report.
     tracker.finalize(report, busy_end_ms);
+    report.availability =
+        report.completed + report.failed > 0
+            ? static_cast<double>(report.completed) /
+                  static_cast<double>(report.completed + report.failed)
+            : 1.0;
     // Per-window series counter tracks live next to the step spans in
     // the run's virtual process (category "series", names "win:*").
     if (tracing && report.series.enabled())
         report.series.emitCounters(tracer, vpid);
     wall_span.arg("completed", report.completed)
         .arg("rejected", report.rejected)
+        .arg("failed", report.failed)
+        .arg("injected_faults", report.injected_faults)
         .arg("preemptions", report.preemptions)
         .arg("makespan_ms", report.makespan_ms);
     if (options_.keep_request_states)

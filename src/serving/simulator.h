@@ -4,10 +4,13 @@
  * that drives a llm::StepCostModel with a Trace of requests under a
  * pluggable Scheduler, tracking every request's lifecycle
  * (queued -> prefill -> decode -> finished, with a preemption edge
- * back to queued in paged-KV mode) and aggregating the serving
+ * back to queued in paged-KV mode and a fault edge — step fault ->
+ * backoff-delayed retry -> kFailed past the budget — when the
+ * "serving.step" fault site is armed) and aggregating the serving
  * metrics of metrics.h. Time advances only by engine-step costs
- * (decodeMs / prefillMs) and by idle jumps to the next arrival, so runs
- * are exactly reproducible from the trace alone.
+ * (decodeMs / prefillMs) and by idle jumps to the next arrival or next
+ * retry eligibility, so runs are exactly reproducible from the trace
+ * and fault spec alone.
  *
  * Cost lookups are bucketed (next power of two for decode batch sizes,
  * next multiple of `prefill_cost_bucket` for prefill chunks) the same
@@ -55,6 +58,26 @@ struct SimOptions
         count — required for 10^5+ request traces (bench_serving's
         stress section gates on it). */
     bool keep_request_states = true;
+
+    /**
+     * Recovery policy for injected engine-step faults (fault site
+     * "serving.step", see src/support/fault.h). A failing step burns
+     * its full cost, emits no tokens, and evicts the victim — the
+     * request the step was serving (the prefill request, or the first
+     * decode id): its KV pages are released and it re-queues with
+     * backoff-delayed eligibility (base_ms * mult^(retries-1) of
+     * virtual time, re-entering the queue *tail*). After max_retries
+     * faults the request terminates as Phase::kFailed instead. With no
+     * "serving.step" trigger armed this policy is inert and runs are
+     * byte-identical to a build without it.
+     */
+    struct StepFaultPolicy
+    {
+        int64_t max_retries = 3;      ///< faults absorbed before kFailed
+        double backoff_base_ms = 100; ///< delay before the first retry
+        double backoff_mult = 2.0;    ///< delay growth per retry
+    };
+    StepFaultPolicy step_faults;
 };
 
 /** Derive scheduler limits from an engine's construction-time

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic fault injection: a process-wide registry of named fault
+ * sites probed from production code paths.
+ *
+ * A fault *site* is a stable string naming one failure point, e.g.
+ * "cache.disk.read". Code probes it with
+ *
+ *     if (fault::maybeFail("cache.disk.read")) { ... simulate failure }
+ *
+ * or lets the registry throw a typed FaultInjectedError via
+ * fault::maybeThrow(). With no triggers armed a probe is exactly one
+ * relaxed atomic load — instrumentation stays on hot paths for free.
+ *
+ * Triggers are configured from the TILUS_FAULTS environment variable or
+ * programmatically via configure(). Spec grammar (no whitespace):
+ *
+ *     spec    := entry (',' entry)*
+ *     entry   := site '=' trigger
+ *     site    := [A-Za-z0-9_.]+ ['*']          ('*' = prefix wildcard)
+ *     trigger := 'always'                       every probe fires
+ *              | 'n' COUNT                      exactly the COUNT-th
+ *                                               matching probe fires
+ *              | 'p' PROB ['@' SEED]            each probe fires with
+ *                                               probability PROB, drawn
+ *                                               from a deterministic
+ *                                               per-trigger stream
+ *
+ * Examples:
+ *     TILUS_FAULTS=cache.disk.read=always
+ *     TILUS_FAULTS=serving.step=p0.01@13,compile.kernel=n2
+ *     TILUS_FAULTS=cache.disk.*=p0.05
+ *
+ * Triggers are evaluated in spec order; the first entry whose site
+ * matches the probed site (exact, or prefix for entries ending in '*')
+ * decides. Probability streams are seeded from SEED when given, else
+ * from a hash of the entry's site pattern — so the same spec replayed
+ * against the same probe sequence injects at the same probes, every
+ * time. configure() resets all trigger state (hit counters, RNG
+ * streams, injection counts), making whole-pipeline runs reproducible.
+ *
+ * Every injection increments obs::Registry counters
+ * ("fault_injected_total" plus a per-site counter) and emits a
+ * wall-clock instant trace event (category "fault", args {"site":...}),
+ * so no injected fault is ever invisible.
+ *
+ * See src/support/README.md for the fault-site author contract and the
+ * inventory of sites wired through the system.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "support/error.h"
+
+namespace tilus {
+namespace fault {
+
+/** Thrown by maybeThrow() when an armed trigger fires at a site. */
+class FaultInjectedError : public TilusError
+{
+  public:
+    explicit FaultInjectedError(const std::string &site)
+        : TilusError("injected fault at site '" + site + "'"), site_(site)
+    {
+    }
+
+    /** The fault site that fired. */
+    const std::string &site() const { return site_; }
+
+  private:
+    std::string site_;
+};
+
+namespace detail {
+
+/** 0 = uninitialized (TILUS_FAULTS not read yet), 1 = disarmed,
+    2 = at least one trigger armed. */
+extern std::atomic<int> g_state;
+
+bool maybeFailSlow(const char *site);
+
+} // namespace detail
+
+/**
+ * Probe a fault site; returns true when an armed trigger fires. The
+ * disarmed fast path is a single relaxed atomic load.
+ */
+inline bool
+maybeFail(const char *site)
+{
+    const int s = detail::g_state.load(std::memory_order_relaxed);
+    if (s == 1)
+        return false;
+    return detail::maybeFailSlow(site);
+}
+
+/** Probe a site and throw FaultInjectedError when it fires. */
+void maybeThrow(const char *site);
+
+/**
+ * (Re)arm the registry from a spec string (grammar above); an empty
+ * spec disarms. Replaces all triggers and resets every hit counter,
+ * probability stream, and injection count, so identical runs after
+ * identical configure() calls inject identically. Throws FatalError on
+ * a malformed spec without changing the current configuration.
+ */
+void configure(const std::string &spec);
+
+/** Drop all triggers and reset counts (the zero-overhead off state). */
+void disarm();
+
+/** True when at least one trigger is armed. Forces TILUS_FAULTS
+    initialization if it has not happened yet. */
+bool enabled();
+
+/** Total injections since the last configure()/disarm(). */
+int64_t injectionCount();
+
+/** Injections at one concrete site since the last configure()/disarm(). */
+int64_t injectionCount(const std::string &site);
+
+} // namespace fault
+} // namespace tilus

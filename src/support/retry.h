@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bounded retry with exponential backoff, shared by the failure paths
+ * that may retry: disk-cache blob writes (wall-clock sleeps between
+ * attempts) and the serving simulator's step-retry schedule (the same
+ * backoff curve evaluated on the virtual clock — no sleeping).
+ */
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace tilus {
+namespace support {
+
+/** Attempt budget and backoff curve: attempt k (1-based) is preceded by
+    a delay of base_ms * mult^(k-2) for k >= 2. */
+struct RetryPolicy
+{
+    int max_attempts = 3;
+    double base_ms = 1.0;
+    double mult = 2.0;
+
+    /** Backoff in ms before attempt @p attempt (1-based; 0 for the
+        first attempt). */
+    double
+    backoffMs(int attempt) const
+    {
+        if (attempt <= 1)
+            return 0.0;
+        double d = base_ms;
+        for (int i = 2; i < attempt; ++i)
+            d *= mult;
+        return d;
+    }
+};
+
+/**
+ * Run @p try_once(attempt) up to policy.max_attempts times, sleeping
+ * the backoff between attempts. Returns true as soon as an attempt
+ * returns true, false when the budget is exhausted. Exceptions
+ * propagate immediately (an exception is a non-retryable failure; the
+ * retryable kind is a false return).
+ */
+template <typename TryFn>
+bool
+retryWithBackoff(const RetryPolicy &policy, TryFn &&try_once)
+{
+    for (int attempt = 1;; ++attempt) {
+        if (try_once(attempt))
+            return true;
+        if (attempt >= policy.max_attempts)
+            return false;
+        const double ms = policy.backoffMs(attempt + 1);
+        if (ms > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(ms));
+    }
+}
+
+} // namespace support
+} // namespace tilus

@@ -18,6 +18,8 @@
 
 #include "autotune/tuner.h"
 #include "cache/compile_pool.h"
+#include "obs/metrics.h"
+#include "support/fault.h"
 #include "cache/fingerprint.h"
 #include "cache/kernel_cache.h"
 #include "cache/serialize.h"
@@ -551,6 +553,188 @@ TEST(CompilePool, ParallelForVisitsEveryIndexAndPropagates)
                      },
                      4),
                  SimError);
+}
+
+TEST(CompilePool, LowestIndexExceptionWinsDeterministically)
+{
+    // Indices are claimed strictly in order (fetch_add), so the lowest
+    // failing index is always among the claimed ones and parallelFor
+    // must surface exactly it — not whichever thread lost the race.
+    for (int trial = 0; trial < 20; ++trial) {
+        try {
+            cache::parallelFor(
+                64,
+                [&](int64_t i) {
+                    if (i >= 8)
+                        throw SimError("boom " + std::to_string(i));
+                },
+                4);
+            FAIL() << "parallelFor swallowed the exception";
+        } catch (const SimError &e) {
+            EXPECT_STREQ(e.what(), "boom 8") << "trial " << trial;
+        }
+    }
+}
+
+// ------------------------------------------------------ fault injection
+//
+// Injected disk faults (src/support/fault.h) at the blob-store sites:
+// reads and corruption degrade to a miss, transient write/rename
+// failures are absorbed by writeBlobAtomic's bounded retry, and every
+// failure path cleans up its temp file (satellite: no orphans).
+
+/** Disarms the fault registry when a test scope exits. */
+struct FaultGuard
+{
+    ~FaultGuard() { fault::disarm(); }
+};
+
+/** Count on-disk files whose name carries the atomic-write temp infix. */
+int64_t
+countOrphanTempFiles(const std::string &root)
+{
+    int64_t n = 0;
+    for (const auto &entry :
+         std::filesystem::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() &&
+            entry.path().filename().string().find(".tmp.") !=
+                std::string::npos)
+            ++n;
+    }
+    return n;
+}
+
+TEST(CacheFaults, InjectedReadErrorDegradesToMiss)
+{
+    FaultGuard guard;
+    TempDir dir;
+    cache::KernelCache cache(dir.path);
+    lir::Kernel kernel = compiler::compile(
+        kernels::buildMatmul(tensorCoreConfig(uint4())).main_program,
+        {});
+    cache::Fingerprint fp;
+    fp.lo = 0x0ead;
+    cache.store(fp, kernel);
+
+    fault::configure("cache.disk.read=n1");
+    EXPECT_EQ(cache.load(fp), nullptr); // injected I/O error -> miss
+    EXPECT_EQ(cache.stats().disk_errors, 1);
+    EXPECT_EQ(fault::injectionCount("cache.disk.read"), 1);
+    EXPECT_NE(cache.load(fp), nullptr); // n1 fired; entry is intact
+}
+
+TEST(CacheFaults, InjectedCorruptionIsCaughtByContentHash)
+{
+    FaultGuard guard;
+    TempDir dir;
+    cache::KernelCache cache(dir.path);
+    lir::Kernel kernel = compiler::compile(
+        kernels::buildMatmul(tensorCoreConfig(uint4())).main_program,
+        {});
+    cache::Fingerprint fp;
+    fp.lo = 0xc0;
+    cache.store(fp, kernel);
+
+    fault::configure("cache.disk.corrupt=n1");
+    EXPECT_EQ(cache.load(fp), nullptr); // flipped payload bit -> miss
+    EXPECT_EQ(cache.stats().disk_errors, 1);
+    EXPECT_NE(cache.load(fp), nullptr);
+}
+
+TEST(CacheFaults, WriteRetryAbsorbsTransientFault)
+{
+    FaultGuard guard;
+    TempDir dir;
+    cache::KernelCache cache(dir.path);
+    lir::Kernel kernel = compiler::compile(
+        kernels::buildMatmul(tensorCoreConfig(uint4())).main_program,
+        {});
+    cache::Fingerprint fp;
+    fp.lo = 0x3117e;
+
+    obs::Counter &retries =
+        obs::Registry::instance().counter("cache_blob_write_retries_total");
+    const int64_t before = retries.value();
+    fault::configure("cache.disk.write=n1"); // first attempt torn
+    cache.store(fp, kernel);
+    EXPECT_EQ(cache.stats().stores, 1); // retry made the store land
+    EXPECT_EQ(retries.value() - before, 1);
+    EXPECT_EQ(countOrphanTempFiles(dir.path), 0);
+    EXPECT_NE(cache.load(fp), nullptr);
+}
+
+TEST(CacheFaults, RenameFailureCleansUpAndFailsStore)
+{
+    FaultGuard guard;
+    TempDir dir;
+    cache::KernelCache cache(dir.path);
+    lir::Kernel kernel = compiler::compile(
+        kernels::buildMatmul(tensorCoreConfig(uint4())).main_program,
+        {});
+    cache::Fingerprint fp;
+    fp.lo = 0x4e4a;
+
+    fault::configure("cache.disk.rename=always"); // exhausts the retry
+    cache.store(fp, kernel);
+    EXPECT_EQ(cache.stats().stores, 0);
+    EXPECT_EQ(countOrphanTempFiles(dir.path), 0); // every tmp unlinked
+    fault::disarm();
+    EXPECT_EQ(cache.load(fp), nullptr); // nothing half-written
+    cache.store(fp, kernel); // healthy disk: same instance recovers
+    EXPECT_EQ(cache.stats().stores, 1);
+    EXPECT_NE(cache.load(fp), nullptr);
+}
+
+TEST(CacheFaults, ConcurrentCorruptReadersDegradeToOneRecompile)
+{
+    // Satellite: N readers race one corrupt disk entry. Every reader
+    // must degrade to a miss and end up on the single recompiled
+    // kernel — never a crash, never N counted compiles.
+    TempDir dir;
+    MatmulConfig cfg = tensorCoreConfig(uint4());
+    const ir::Program program = kernels::buildMatmul(cfg).main_program;
+    const cache::Fingerprint fp = cache::fingerprintProgram(program, {});
+    {
+        cache::KernelCache disk(dir.path);
+        runtime::Runtime rt(sim::l40s());
+        rt.setDiskCache(&disk);
+        rt.getOrCompile(program, {});
+        EXPECT_EQ(rt.compileCount(), 1);
+    }
+
+    cache::KernelCache disk(dir.path); // simulated restart
+    {
+        // Flip a payload byte on disk so every load rejects the entry.
+        const std::string path = disk.entryPath(fp);
+        std::string blob;
+        {
+            std::ifstream in(path, std::ios::binary);
+            std::ostringstream oss;
+            oss << in.rdbuf();
+            blob = oss.str();
+        }
+        ASSERT_GT(blob.size(), 10u);
+        blob[blob.size() - 10] ^= 0x40;
+        std::ofstream(path, std::ios::binary | std::ios::trunc) << blob;
+    }
+
+    runtime::Runtime rt(sim::l40s());
+    rt.setDiskCache(&disk);
+    constexpr int kReaders = 8;
+    std::vector<const lir::Kernel *> got(kReaders, nullptr);
+    std::vector<std::thread> threads;
+    threads.reserve(kReaders);
+    for (int i = 0; i < kReaders; ++i)
+        threads.emplace_back(
+            [&, i] { got[i] = &rt.getOrCompile(program, {}); });
+    for (std::thread &t : threads)
+        t.join();
+
+    for (int i = 1; i < kReaders; ++i)
+        EXPECT_EQ(got[i], got[0]) << i; // one shared materialization
+    EXPECT_EQ(rt.compileCount(), 1);
+    EXPECT_EQ(rt.diskLoadCount(), 0); // corrupt entry never loaded
+    EXPECT_GE(disk.stats().disk_errors, 1);
 }
 
 TEST(ConcurrentTuners, ThreadSafeAndDeterministic)

@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "serving/simulator.h"
+#include "support/fault.h"
 #include "support/percentile.h"
 
 namespace tilus {
@@ -804,6 +805,9 @@ TEST(Report, GoldenJsonSchemaIsPinned)
     report.total_requests = 2;
     report.completed = 2;
     report.rejected = 0;
+    report.failed = 1;
+    report.retries = 3;
+    report.injected_faults = 4;
     report.met_slo = 2;
     report.prompt_tokens = 100;
     report.output_tokens = 10;
@@ -814,6 +818,7 @@ TEST(Report, GoldenJsonSchemaIsPinned)
     report.throughput_tok_s = 800;
     report.request_per_s = 160;
     report.goodput_req_s = 160;
+    report.availability = 0.8;
     const LatencySummary summary = {2, 1.5, 1.5, 2.0, 2.25};
     report.ttft = summary;
     report.tpot = summary;
@@ -845,11 +850,12 @@ TEST(Report, GoldenJsonSchemaIsPinned)
         "{\"scheduler\":\"golden\",\"system\":\"tilus\",\"model\":\"m\","
         "\"wdtype\":\"u4\",\"rate_rps\":4,\"seed\":7,"
         "\"total_requests\":2,\"completed\":2,\"rejected\":0,"
+        "\"failed\":1,\"retries\":3,\"injected_faults\":4,"
         "\"met_slo\":2,"
         "\"prompt_tokens\":100,\"output_tokens\":10,\"prefill_steps\":2,"
         "\"decode_steps\":8,\"preemptions\":1,\"makespan_ms\":12.5,"
         "\"throughput_tok_s\":800,\"request_per_s\":160,"
-        "\"goodput_req_s\":160,"
+        "\"goodput_req_s\":160,\"availability\":0.8,"
         "\"ttft_ms\":{\"mean\":1.5,\"p50\":1.5,\"p95\":2,\"p99\":2.25},"
         "\"tpot_ms\":{\"mean\":1.5,\"p50\":1.5,\"p95\":2,\"p99\":2.25},"
         "\"latency_ms\":{\"mean\":1.5,\"p50\":1.5,\"p95\":2,\"p99\":2.25},"
@@ -1052,6 +1058,166 @@ TEST(Report, SeriesWindowsAccountForRunTotals)
         report.mean_kv_used_tokens * report.makespan_ms;
     EXPECT_NEAR(kv_integral, kv_want,
                 1e-9 * std::max(1.0, std::fabs(kv_want)));
+}
+
+// ------------------------------------------------------- fault injection
+//
+// The step-fault process of src/serving/simulator.cc: a failing engine
+// step burns its cost, evicts its victim, and either re-queues it with
+// backoff-delayed eligibility or terminates it as Phase::kFailed past
+// the retry budget. Timings below are hand-computed from FakeCost.
+
+/** Disarms the fault registry when a test scope exits, so an armed
+    trigger can never leak into later tests of this process. */
+struct FaultGuard
+{
+    ~FaultGuard() { fault::disarm(); }
+};
+
+TEST(Faults, StepFaultRetryTimingIsExact)
+{
+    FaultGuard guard;
+    FakeCost costs(1024, 4);
+    FcfsScheduler fcfs;
+    SimOptions options = exactOptions(costs);
+    options.step_faults.backoff_base_ms = 100;
+    options.step_faults.backoff_mult = 2.0;
+
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 100, 2, 0.0});
+
+    // The 1st engine step faults; the lone request retries once.
+    // t=0: prefill(100) = 1 ms faulted -> eligible at 1 + 100 backoff.
+    // t=101: prefill(100) = 1 ms, first token at 102.
+    // t=102: decode(batch 1) = 1.1 ms -> finished at 103.1.
+    fault::configure("serving.step=n1");
+    Simulator sim(costs, fcfs, options);
+    ServingReport report = sim.run(trace);
+
+    EXPECT_EQ(report.injected_faults, 1);
+    EXPECT_EQ(report.retries, 1);
+    EXPECT_EQ(report.failed, 0);
+    EXPECT_EQ(report.completed, 1);
+    EXPECT_DOUBLE_EQ(report.availability, 1.0);
+    ASSERT_EQ(report.requests.size(), 1u);
+    const RequestState &state = report.requests[0];
+    EXPECT_EQ(state.phase, Phase::kFinished);
+    EXPECT_EQ(state.fault_retries, 1);
+    // The pre-first-token retry stall lands in TTFT (contract in
+    // src/serving/README.md).
+    EXPECT_DOUBLE_EQ(state.first_token_ms, 102.0);
+    EXPECT_DOUBLE_EQ(state.finish_ms, 103.1);
+    EXPECT_EQ(fault::injectionCount("serving.step"), 1);
+}
+
+TEST(Faults, RetryBudgetExhaustionFailsTheRequest)
+{
+    FaultGuard guard;
+    FakeCost costs(1024, 4);
+    FcfsScheduler fcfs;
+    SimOptions options = exactOptions(costs);
+    options.step_faults.max_retries = 2;
+    options.step_faults.backoff_base_ms = 100;
+    options.step_faults.backoff_mult = 2.0;
+
+    Trace trace;
+    trace.requests.push_back({0, 0.0, 100, 2, 0.0});
+
+    // Every step faults: attempts at t=0, t=101 (1+100), t=302
+    // (102+200); the 3rd fault exceeds max_retries=2 -> kFailed at 303.
+    fault::configure("serving.step=always");
+    Simulator sim(costs, fcfs, options);
+    ServingReport report = sim.run(trace);
+
+    EXPECT_EQ(report.injected_faults, 3);
+    EXPECT_EQ(report.retries, 2);
+    EXPECT_EQ(report.failed, 1);
+    EXPECT_EQ(report.completed, 0);
+    EXPECT_DOUBLE_EQ(report.availability, 0.0);
+    ASSERT_EQ(report.requests.size(), 1u);
+    EXPECT_EQ(report.requests[0].phase, Phase::kFailed);
+    EXPECT_DOUBLE_EQ(report.requests[0].finish_ms, 303.0);
+}
+
+TEST(Faults, ClosedLoopClientFreedOnFailure)
+{
+    FaultGuard guard;
+    FakeCost costs(1024, 4);
+    FcfsScheduler fcfs;
+    SimOptions options = exactOptions(costs);
+    options.step_faults.max_retries = 0; // first fault is terminal
+
+    TraceOptions topts;
+    topts.num_requests = 12;
+    topts.seed = 5;
+    Trace trace = serving::closedLoopTrace(topts, 3);
+
+    // Every step faults and the budget is zero: each client's request
+    // fails on its first step and the client must pull the next one —
+    // the loop only terminates if failures free their clients.
+    fault::configure("serving.step=always");
+    Simulator sim(costs, fcfs, options);
+    ServingReport report = sim.run(trace);
+
+    EXPECT_EQ(report.completed, 0);
+    EXPECT_EQ(report.failed + report.rejected, 12);
+    EXPECT_EQ(report.retries, 0);
+    EXPECT_DOUBLE_EQ(report.availability, 0.0);
+}
+
+TEST(Faults, PagedRunUnderFaultsBalancesAndIsDeterministic)
+{
+    FaultGuard guard;
+    FakeCost costs(2048, 8);
+    TraceOptions topts;
+    topts.num_requests = 120;
+    topts.seed = 17;
+    topts.rate_rps = 40;
+    Trace trace = serving::poissonTrace(topts);
+
+    auto run = [&]() {
+        PagedFcfsScheduler paged;
+        Simulator sim(costs, paged, pagedExactOptions(costs, 16));
+        return sim.run(trace);
+    };
+
+    // configure() resets every trigger stream, so two identical runs
+    // inject at identical probes and the reports match byte for byte.
+    fault::configure("serving.step=p0.05@42");
+    ServingReport a = run();
+    fault::configure("serving.step=p0.05@42");
+    ServingReport b = run();
+    EXPECT_GT(a.injected_faults, 0);
+    EXPECT_EQ(a.toJson(), b.toJson());
+
+    // Internal consistency: every request reached a terminal phase (the
+    // KV-balance invariants are asserted inside run()).
+    int64_t terminal = a.completed + a.failed + a.rejected;
+    EXPECT_EQ(terminal, a.total_requests);
+    EXPECT_EQ(fault::injectionCount("serving.step"), b.injected_faults);
+
+    // Disarmed runs are byte-identical to each other (the zero-overhead
+    // off path changes nothing).
+    fault::disarm();
+    ServingReport c = run();
+    ServingReport d = run();
+    EXPECT_EQ(c.toJson(), d.toJson());
+    EXPECT_EQ(c.injected_faults, 0);
+    EXPECT_EQ(c.failed, 0);
+    EXPECT_EQ(c.retries, 0);
+    EXPECT_DOUBLE_EQ(c.availability, 1.0);
+}
+
+TEST(Faults, MalformedSpecIsRejectedWithoutArming)
+{
+    FaultGuard guard;
+    fault::disarm();
+    EXPECT_THROW(fault::configure("serving.step"), FatalError);
+    EXPECT_THROW(fault::configure("serving.step=n0"), FatalError);
+    EXPECT_THROW(fault::configure("serving.step=p1.5"), FatalError);
+    EXPECT_THROW(fault::configure("serving.step=p0.1@x"), FatalError);
+    EXPECT_THROW(fault::configure("=always"), FatalError);
+    EXPECT_FALSE(fault::enabled());
 }
 
 } // namespace

@@ -65,6 +65,9 @@ SPECS = {
         "metrics": [
             ("completed", "equal", 0),  # deterministic virtual clock
             ("rejected", "equal", 0),
+            ("failed", "equal", 0),          # fault outcomes are seeded,
+            ("injected_faults", "equal", 0), # so they replay exactly
+            ("availability", "higher", 0.0),
             ("throughput_tok_s", "higher", 0.01),
             ("goodput_req_s", "higher", 0.01),
             ("ttft_ms.p50", "lower", 0.01),
@@ -98,7 +101,8 @@ def run_id(run, keys):
 
 def collect_runs(doc, spec):
     """(id -> run dict); top-level doc counts as one run when run_key
-    is None. A serving stress block rides along as its own run."""
+    is None. Serving stress and fault-injection blocks ride along as
+    their own runs."""
     if spec["run_key"] is None:
         return {"(top-level)": doc}
     runs = {}
@@ -107,6 +111,9 @@ def collect_runs(doc, spec):
     stress = doc.get("stress", {}).get("report")
     if stress is not None:
         runs["stress | " + run_id(stress, spec["run_key"])] = stress
+    faults = doc.get("faults", {}).get("report")
+    if faults is not None:
+        runs["faults | " + run_id(faults, spec["run_key"])] = faults
     return runs
 
 

@@ -10,6 +10,9 @@ Checks (see src/obs/README.md for the emitter contract):
   * async b/n/e events are balanced per (pid, cat, id) and every n
     falls inside an open series;
   * counter (C) events carry a numeric "value" arg;
+  * instant (i) events are accepted anywhere; category "fault" ones
+    (injected-fault markers, see src/support/fault.h) must live on the
+    wall clock and carry a string "site" arg;
   * per-window series counter tracks (category "series", names
     "win:*", one sample per fixed window) have strictly increasing,
     uniformly spaced timestamps per (pid, name) track;
@@ -51,7 +54,7 @@ def fail(msg):
     sys.exit(1)
 
 
-def validate(path):
+def validate(path, require_fault=False):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -119,6 +122,15 @@ def validate(path):
             elif depth < 1:
                 fail(f"event {i}: async instant outside an open series "
                      f"{series}")
+        elif ph == "i":
+            if cat == "fault":
+                if pid != WALL_PID:
+                    fail(f"event {i}: fault instant must be on the "
+                         f"wall clock (pid {WALL_PID}), found pid {pid}")
+                site = e.get("args", {}).get("site")
+                if not isinstance(site, str) or not site:
+                    fail(f"event {i}: fault instant without a string "
+                         f"'site' arg: {e}")
         elif ph == "C":
             args = e.get("args", {})
             if not any(isinstance(v, (int, float)) and
@@ -165,6 +177,10 @@ def validate(path):
             fail(f"category '{cat}' must live on virtual-clock tracks "
                  f"(pid >= 2), found pid {WALL_PID}")
 
+    if require_fault and "fault" not in seen:
+        fail("a fault trigger was armed but the trace has no "
+             "category-'fault' instant event")
+
     counters = sum(1 for e in events if e["ph"] == "C")
     print(f"check_trace: OK: {len(events)} events, "
           f"{len(seen)} categories ({', '.join(sorted(seen))}), "
@@ -180,13 +196,17 @@ def run_and_validate(binary):
         # the category check requires; a warm cache would skip them all.
         env["TILUS_CACHE_DIR"] = os.path.join(tmp, "cache")
         env.pop("TILUS_CACHE", None)
+        # Arm one transient cache-write fault (absorbed by the blob
+        # store's retry) so the smoke run also proves injected faults
+        # surface as category-'fault' instant events.
+        env["TILUS_FAULTS"] = "cache.disk.write=n1"
         proc = subprocess.run([binary], env=env,
                               stdout=subprocess.DEVNULL, timeout=540)
         if proc.returncode != 0:
             fail(f"{binary} exited with {proc.returncode}")
         if not os.path.exists(trace):
             fail(f"{binary} did not write {trace}")
-        validate(trace)
+        validate(trace, require_fault=True)
 
 
 def main(argv):
