@@ -26,6 +26,7 @@
 #include "bench_common.h"
 #include "obs/build_info.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "opt/oracle.h"
 #include "sim/interpreter.h"
 #include "sim/microop.h"
@@ -166,9 +167,57 @@ main(int argc, char **argv)
             failed = true;
     }
 
+    // Profiler A/B on the headline kernel: a disarmed run (the default
+    // RunOptions::profile == nullptr path every ctest and sweep takes)
+    // against an armed run with a live ProfileCollector. The armed run
+    // must leave byte-identical device contents — attribution only
+    // *observes* counters — and the disarmed path costs one pointer test
+    // per instruction, so the overhead ratio is reported for the record.
+    bool profile_identical = false;
+    double profile_disarmed_s = 0, profile_armed_s = 0;
+    {
+        auto cfg = config(uint4(), 1);
+        auto bundle = kernels::buildMatmul(cfg);
+        lir::Kernel kernel = compiler::compile(bundle.main_program, {});
+        opt::OracleConfig oracle;
+        oracle.scalars = {{"m", m}};
+        oracle.device_bytes = 16 << 20;
+
+        sim::Device dev_plain(oracle.device_bytes);
+        auto t0 = Clock::now();
+        opt::runSeeded(kernel, oracle, dev_plain, sim::Engine::kAuto);
+        auto t1 = Clock::now();
+        profile_disarmed_s = std::chrono::duration<double>(t1 - t0).count();
+
+        sim::Device dev_armed(oracle.device_bytes);
+        obs::ProfileCollector collector(kernel);
+        auto t2 = Clock::now();
+        opt::runSeeded(kernel, oracle, dev_armed, sim::Engine::kAuto,
+                       &collector);
+        auto t3 = Clock::now();
+        profile_armed_s = std::chrono::duration<double>(t3 - t2).count();
+
+        profile_identical = opt::devicesIdentical(
+            dev_plain, dev_armed, oracle.device_bytes);
+        std::printf("\nprofiler A/B (%s): disarmed %.3fs armed %.3fs "
+                    "(overhead %.2fx), devices %s\n",
+                    cfg.name().c_str(), profile_disarmed_s,
+                    profile_armed_s,
+                    profile_armed_s / profile_disarmed_s,
+                    profile_identical ? "identical" : "DIVERGED");
+        if (!profile_identical)
+            failed = true;
+    }
+
     std::ostringstream json;
     json << "{\"bench\":\"interp\",\"build_info\":"
-         << obs::buildInfoJson() << ",\"m\":" << m << ",\"runs\":[\n";
+         << obs::buildInfoJson() << ",\"m\":" << m
+         << ",\"profile_identical\":"
+         << (profile_identical ? "true" : "false")
+         << ",\"profile_disarmed_s\":" << profile_disarmed_s
+         << ",\"profile_armed_s\":" << profile_armed_s
+         << ",\"profile_overhead\":"
+         << profile_armed_s / profile_disarmed_s << ",\"runs\":[\n";
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &row = rows[i];
         json << "  {\"kernel\":\"" << row.name << "\""
@@ -205,13 +254,15 @@ main(int argc, char **argv)
     const obs::Registry &registry = obs::Registry::instance();
     std::printf("gate %s: microop fallbacks = %lld (threshold 0, "
                 "registry sim_microop_fallbacks_total over %lld runs), "
-                "divergence = %s (threshold none)\n",
+                "divergence = %s (threshold none), profile A/B "
+                "identical = %s\n",
                 failed ? "FAIL" : "PASS",
                 static_cast<long long>(registry.counterValue(
                     "sim_microop_fallbacks_total")),
                 static_cast<long long>(
                     registry.counterValue("sim_runs_total")),
-                failed ? "seen" : "none");
+                failed ? "seen" : "none",
+                profile_identical ? "true" : "false");
     if (failed) {
         std::fprintf(stderr, "\nerror: micro-op engine diverged or fell "
                              "back on a covered kernel\n");

@@ -7,6 +7,7 @@
 
 #include "cache/compile_pool.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "sim/interpreter.h"
 #include "support/error.h"
@@ -241,6 +242,7 @@ sweepCached(runtime::Runtime &rt, const SweepRequest &req,
         hit.config = record->config;
         hit.latency = record->latency;
         hit.candidates_tried = record->candidates_tried;
+        hit.candidates = std::move(record->candidates);
         return hit;
     }
     obs::Registry::instance().counter("tune_sweeps_cold_total").add();
@@ -283,6 +285,7 @@ sweepCached(runtime::Runtime &rt, const SweepRequest &req,
     obs::Registry::instance()
         .counter("tune_candidates_total")
         .add(static_cast<int64_t>(candidates.size()));
+    best.candidates.reserve(candidates.size());
     for (const kernels::MatmulConfig &cfg : candidates) {
         obs::Span candidate_span("autotune", "candidate");
         if (candidate_span.live())
@@ -290,6 +293,30 @@ sweepCached(runtime::Runtime &rt, const SweepRequest &req,
         sim::LatencyBreakdown est =
             estimateConfig(rt, cfg, req.m, req.opts, req.traits);
         candidate_span.arg("estimated_us", est.total_us);
+        // The profiler view of this candidate: bound classification
+        // plus every modeled component, as candidate-span args and as
+        // a category-"profile" instant (tools/check_trace.py validates
+        // the instant's schema).
+        if (candidate_span.live()) {
+            const char *bound = obs::boundName(obs::classifyBound(est));
+            candidate_span.arg("bound", bound)
+                .arg("serial_us", est.serial_us)
+                .arg("dram_us", est.dram_us);
+            obs::Args profile_args;
+            profile_args.add("config", cfg.name());
+            profile_args.add("bound", bound);
+            profile_args.add("total_us", est.total_us);
+            profile_args.add("dram_us", est.dram_us);
+            profile_args.add("l2_us", est.l2_us);
+            profile_args.add("tc_us", est.tc_us);
+            profile_args.add("simt_us", est.simt_us);
+            profile_args.add("alu_us", est.alu_us);
+            profile_args.add("smem_us", est.smem_us);
+            profile_args.add("serial_us", est.serial_us);
+            obs::Tracer::instance().instant("profile", "candidate",
+                                            profile_args);
+        }
+        best.candidates.push_back(cache::TuneCandidate{cfg, est});
         if (est.total_us < best.latency.total_us) {
             best.latency = est;
             best.config = cfg;
@@ -305,6 +332,7 @@ sweepCached(runtime::Runtime &rt, const SweepRequest &req,
     record.config = best.config;
     record.latency = best.latency;
     record.candidates_tried = best.candidates_tried;
+    record.candidates = best.candidates;
     db->store(key, record);
     return best;
 }

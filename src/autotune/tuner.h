@@ -28,6 +28,11 @@ struct TuneResult
     kernels::MatmulConfig config;
     sim::LatencyBreakdown latency;
     int candidates_tried = 0;
+    /** Every estimated candidate with its full LatencyBreakdown, in
+        enumeration order (persisted in the tune database, so warm
+        sweeps return it too). Explains *why* the winner won and feeds
+        analytic-ranker validation against sweep history. */
+    std::vector<cache::TuneCandidate> candidates;
 };
 
 /** Tuning-space controls (the defaults yield ~200 candidates). */

@@ -16,11 +16,12 @@ namespace {
 
 constexpr uint32_t kMagic = 0x544c544e; // "TLTN"
 
-std::string
-encodeRecord(const TuneRecord &record)
+/** Sane ceiling on the stored candidate list (sweeps are ~200). */
+constexpr int64_t kMaxCandidates = 1 << 20;
+
+void
+encodeConfig(std::string &out, const kernels::MatmulConfig &c)
 {
-    std::string out;
-    const kernels::MatmulConfig &c = record.config;
     out.push_back(static_cast<char>(c.wdtype.kind()));
     out.push_back(static_cast<char>(c.wdtype.bits()));
     out.push_back(static_cast<char>(c.wdtype.exponentBits()));
@@ -38,31 +39,11 @@ encodeRecord(const TuneRecord &record)
     out.push_back(c.transform_weights ? 1 : 0);
     putI64(out, c.group_size);
     out.push_back(c.convert_via_smem ? 1 : 0);
-
-    const sim::LatencyBreakdown &l = record.latency;
-    putF64(out, l.total_us);
-    putF64(out, l.dram_us);
-    putF64(out, l.l2_us);
-    putF64(out, l.tc_us);
-    putF64(out, l.simt_us);
-    putF64(out, l.alu_us);
-    putF64(out, l.smem_us);
-    putF64(out, l.serial_us);
-    putF64(out, l.launch_us);
-    out.push_back(l.pipelined ? 1 : 0);
-    putI64(out, l.blocks);
-    putF64(out, l.occupancy_blocks_per_sm);
-
-    putI64(out, record.candidates_tried);
-    return out;
 }
 
-std::optional<TuneRecord>
-decodeRecord(const std::string &payload)
+bool
+decodeConfig(ByteReader &r, kernels::MatmulConfig &c)
 {
-    ByteReader r(payload);
-    TuneRecord record;
-    kernels::MatmulConfig &c = record.config;
     TypeKind kind = static_cast<TypeKind>(r.u8());
     int bits = r.u8();
     int exponent = r.u8();
@@ -79,10 +60,10 @@ decodeRecord(const std::string &payload)
             c.wdtype = DataType::makeFloat(bits, exponent, mantissa);
             break;
           default:
-            return std::nullopt;
+            return false;
         }
     } catch (const TilusError &) {
-        return std::nullopt;
+        return false;
     }
     c.n = r.i64();
     c.k = r.i64();
@@ -97,8 +78,29 @@ decodeRecord(const std::string &payload)
     c.transform_weights = r.u8() != 0;
     c.group_size = r.i64();
     c.convert_via_smem = r.u8() != 0;
+    return r.ok();
+}
 
-    sim::LatencyBreakdown &l = record.latency;
+void
+encodeBreakdown(std::string &out, const sim::LatencyBreakdown &l)
+{
+    putF64(out, l.total_us);
+    putF64(out, l.dram_us);
+    putF64(out, l.l2_us);
+    putF64(out, l.tc_us);
+    putF64(out, l.simt_us);
+    putF64(out, l.alu_us);
+    putF64(out, l.smem_us);
+    putF64(out, l.serial_us);
+    putF64(out, l.launch_us);
+    out.push_back(l.pipelined ? 1 : 0);
+    putI64(out, l.blocks);
+    putF64(out, l.occupancy_blocks_per_sm);
+}
+
+void
+decodeBreakdown(ByteReader &r, sim::LatencyBreakdown &l)
+{
     l.total_us = r.f64();
     l.dram_us = r.f64();
     l.l2_us = r.f64();
@@ -111,8 +113,43 @@ decodeRecord(const std::string &payload)
     l.pipelined = r.u8() != 0;
     l.blocks = r.i64();
     l.occupancy_blocks_per_sm = r.f64();
+}
 
+std::string
+encodeRecord(const TuneRecord &record)
+{
+    std::string out;
+    encodeConfig(out, record.config);
+    encodeBreakdown(out, record.latency);
+    putI64(out, record.candidates_tried);
+    putI64(out, static_cast<int64_t>(record.candidates.size()));
+    for (const TuneCandidate &cand : record.candidates) {
+        encodeConfig(out, cand.config);
+        encodeBreakdown(out, cand.latency);
+    }
+    return out;
+}
+
+std::optional<TuneRecord>
+decodeRecord(const std::string &payload)
+{
+    ByteReader r(payload);
+    TuneRecord record;
+    if (!decodeConfig(r, record.config))
+        return std::nullopt;
+    decodeBreakdown(r, record.latency);
     record.candidates_tried = static_cast<int>(r.i64());
+    int64_t count = r.i64();
+    if (!r.ok() || count < 0 || count > kMaxCandidates)
+        return std::nullopt;
+    record.candidates.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+        TuneCandidate cand;
+        if (!decodeConfig(r, cand.config))
+            return std::nullopt;
+        decodeBreakdown(r, cand.latency);
+        record.candidates.push_back(std::move(cand));
+    }
     if (!r.atEnd())
         return std::nullopt;
     return record;

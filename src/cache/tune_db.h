@@ -28,6 +28,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cache/fingerprint.h"
 #include "cache/kernel_cache.h" // CacheStats
@@ -37,8 +38,18 @@
 namespace tilus {
 namespace cache {
 
-/** Bump when the timing model or tuner semantics change. */
-constexpr uint32_t kTuneDbVersion = 1;
+/** Bump when the timing model or tuner semantics change.
+    v2: records carry the full per-candidate LatencyBreakdown list. */
+constexpr uint32_t kTuneDbVersion = 2;
+
+/** One estimated candidate of a sweep (config + full breakdown), so
+    stored sweeps stay explainable: *why* the winner won is recorded,
+    not just which config it was. */
+struct TuneCandidate
+{
+    kernels::MatmulConfig config;
+    sim::LatencyBreakdown latency;
+};
 
 /** One persisted tuning outcome. */
 struct TuneRecord
@@ -46,6 +57,8 @@ struct TuneRecord
     kernels::MatmulConfig config;
     sim::LatencyBreakdown latency;
     int candidates_tried = 0;
+    /** Every estimated candidate, in enumeration order. */
+    std::vector<TuneCandidate> candidates;
 };
 
 /** The persistent tuning-record store (see file header). */

@@ -1,0 +1,1029 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+
+#include "obs/build_info.h"
+#include "obs/trace.h"
+#include "support/logging.h"
+
+namespace tilus {
+namespace obs {
+
+namespace {
+
+/** printKernel-style mnemonic of a leaf op. */
+struct OpcodeVisitor
+{
+    const char *operator()(const lir::LoadGlobalVec &) const
+    {
+        return "ldg";
+    }
+    const char *operator()(const lir::StoreGlobalVec &) const
+    {
+        return "stg";
+    }
+    const char *operator()(const lir::LoadGlobalBits &) const
+    {
+        return "ldg.bits";
+    }
+    const char *operator()(const lir::StoreGlobalBits &) const
+    {
+        return "stg.bits";
+    }
+    const char *operator()(const lir::LoadSharedVec &op) const
+    {
+        return op.via_ldmatrix ? "ldmatrix" : "lds";
+    }
+    const char *operator()(const lir::StoreSharedVec &) const
+    {
+        return "sts";
+    }
+    const char *operator()(const lir::CpAsync &) const
+    {
+        return "cp.async";
+    }
+    const char *operator()(const lir::CpAsyncCommit &) const
+    {
+        return "cp.async.commit_group";
+    }
+    const char *operator()(const lir::CpAsyncWait &) const
+    {
+        return "cp.async.wait_group";
+    }
+    const char *operator()(const lir::BarSync &) const
+    {
+        return "bar.sync";
+    }
+    const char *operator()(const lir::MmaTile &) const { return "mma"; }
+    const char *operator()(const lir::SimtDot &) const
+    {
+        return "simt.dot";
+    }
+    const char *operator()(const lir::EltwiseBinary &) const
+    {
+        return "elt.bin";
+    }
+    const char *operator()(const lir::EltwiseScalar &) const
+    {
+        return "elt.scalar";
+    }
+    const char *operator()(const lir::EltwiseUnary &) const
+    {
+        return "elt.unary";
+    }
+    const char *operator()(const lir::CastTensor &) const
+    {
+        return "cast";
+    }
+    const char *operator()(const lir::InitTensor &) const
+    {
+        return "init";
+    }
+    const char *operator()(const lir::PrintTensor &) const
+    {
+        return "print";
+    }
+    const char *operator()(const lir::ExitOp &) const { return "exit"; }
+};
+
+/** Shortest decimal form of @p v that parses back exactly. */
+std::string
+fmtDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "0"; // profiles never carry inf/nan; keep JSON valid
+    char buf[40];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+std::string
+countersJson(const ProfileCounters &c)
+{
+    std::string o = "{";
+    bool first = true;
+#define TILUS_PROFILE_FIELD(f)                                           \
+    if (!first)                                                          \
+        o += ',';                                                        \
+    first = false;                                                       \
+    o += "\"" #f "\":";                                                  \
+    o += std::to_string(c.f);
+    TILUS_PROFILE_COUNTERS(TILUS_PROFILE_FIELD)
+#undef TILUS_PROFILE_FIELD
+    o += '}';
+    return o;
+}
+
+std::string
+componentsJson(const ComponentUs &c)
+{
+    std::string o = "{";
+    o += "\"alu_us\":" + fmtDouble(c.alu_us);
+    o += ",\"dram_us\":" + fmtDouble(c.dram_us);
+    o += ",\"l2_us\":" + fmtDouble(c.l2_us);
+    o += ",\"serial_us\":" + fmtDouble(c.serial_us);
+    o += ",\"simt_us\":" + fmtDouble(c.simt_us);
+    o += ",\"smem_us\":" + fmtDouble(c.smem_us);
+    o += ",\"tc_us\":" + fmtDouble(c.tc_us);
+    o += '}';
+    return o;
+}
+
+std::string
+latencyJson(const sim::LatencyBreakdown &l)
+{
+    std::string o = "{";
+    o += "\"alu_us\":" + fmtDouble(l.alu_us);
+    o += ",\"blocks\":" + std::to_string(l.blocks);
+    o += ",\"dram_us\":" + fmtDouble(l.dram_us);
+    o += ",\"l2_us\":" + fmtDouble(l.l2_us);
+    o += ",\"launch_us\":" + fmtDouble(l.launch_us);
+    o += ",\"occupancy_blocks_per_sm\":" +
+         fmtDouble(l.occupancy_blocks_per_sm);
+    o += ",\"pipelined\":";
+    o += l.pipelined ? "true" : "false";
+    o += ",\"serial_us\":" + fmtDouble(l.serial_us);
+    o += ",\"simt_us\":" + fmtDouble(l.simt_us);
+    o += ",\"smem_us\":" + fmtDouble(l.smem_us);
+    o += ",\"tc_us\":" + fmtDouble(l.tc_us);
+    o += ",\"total_us\":" + fmtDouble(l.total_us);
+    o += '}';
+    return o;
+}
+
+std::string
+quoted(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+// ------------------------------------------------------------------
+// A minimal JSON reader, just enough to round-trip toJson() documents
+// (and reject malformed ones): objects, arrays, strings with the
+// escapes jsonEscape emits, numbers, booleans, null.
+// ------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum Kind
+    {
+        kNull,
+        kBool,
+        kInt,
+        kDouble,
+        kString,
+        kArray,
+        kObject
+    };
+    Kind kind = kNull;
+    bool b = false;
+    int64_t i = 0;
+    double d = 0;
+    std::string s;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    const JsonValue *
+    get(const char *key) const
+    {
+        for (const auto &[k, v] : obj)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    double
+    num() const
+    {
+        return kind == kInt ? static_cast<double>(i) : d;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return false;
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return false;
+                    unsigned code = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    // jsonEscape only emits \u00XX for control bytes.
+                    if (code > 0xFF)
+                        return false;
+                    out += static_cast<char>(code);
+                    break;
+                  }
+                  default: return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        size_t start = pos_;
+        bool is_double = false;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                is_double = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            return false;
+        std::string token = text_.substr(start, pos_ - start);
+        if (is_double) {
+            out.kind = JsonValue::kDouble;
+            out.d = std::strtod(token.c_str(), nullptr);
+        } else {
+            out.kind = JsonValue::kInt;
+            out.i = std::strtoll(token.c_str(), nullptr, 10);
+        }
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = JsonValue::kObject;
+            skipWs();
+            if (consume('}'))
+                return true;
+            for (;;) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return false;
+                JsonValue value;
+                if (!parseValue(value))
+                    return false;
+                out.obj.emplace_back(std::move(key), std::move(value));
+                if (consume(','))
+                    continue;
+                return consume('}');
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = JsonValue::kArray;
+            skipWs();
+            if (consume(']'))
+                return true;
+            for (;;) {
+                JsonValue value;
+                if (!parseValue(value))
+                    return false;
+                out.arr.push_back(std::move(value));
+                if (consume(','))
+                    continue;
+                return consume(']');
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::kString;
+            return parseString(out.s);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::kBool;
+            out.b = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::kBool;
+            out.b = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::kNull;
+            return literal("null");
+        }
+        return parseNumber(out);
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+bool
+readInt(const JsonValue *v, int64_t &out)
+{
+    if (!v || v->kind != JsonValue::kInt)
+        return false;
+    out = v->i;
+    return true;
+}
+
+bool
+readDouble(const JsonValue *v, double &out)
+{
+    if (!v ||
+        (v->kind != JsonValue::kDouble && v->kind != JsonValue::kInt))
+        return false;
+    out = v->num();
+    return true;
+}
+
+bool
+readBool(const JsonValue *v, bool &out)
+{
+    if (!v || v->kind != JsonValue::kBool)
+        return false;
+    out = v->b;
+    return true;
+}
+
+bool
+readString(const JsonValue *v, std::string &out)
+{
+    if (!v || v->kind != JsonValue::kString)
+        return false;
+    out = v->s;
+    return true;
+}
+
+bool
+readCounters(const JsonValue *v, ProfileCounters &c)
+{
+    if (!v || v->kind != JsonValue::kObject)
+        return false;
+#define TILUS_PROFILE_FIELD(f)                                           \
+    if (!readInt(v->get(#f), c.f))                                       \
+        return false;
+    TILUS_PROFILE_COUNTERS(TILUS_PROFILE_FIELD)
+#undef TILUS_PROFILE_FIELD
+    return true;
+}
+
+bool
+readComponents(const JsonValue *v, ComponentUs &c)
+{
+    if (!v || v->kind != JsonValue::kObject)
+        return false;
+    return readDouble(v->get("alu_us"), c.alu_us) &&
+           readDouble(v->get("dram_us"), c.dram_us) &&
+           readDouble(v->get("l2_us"), c.l2_us) &&
+           readDouble(v->get("serial_us"), c.serial_us) &&
+           readDouble(v->get("simt_us"), c.simt_us) &&
+           readDouble(v->get("smem_us"), c.smem_us) &&
+           readDouble(v->get("tc_us"), c.tc_us);
+}
+
+bool
+readLatency(const JsonValue *v, sim::LatencyBreakdown &l)
+{
+    if (!v || v->kind != JsonValue::kObject)
+        return false;
+    return readDouble(v->get("alu_us"), l.alu_us) &&
+           readInt(v->get("blocks"), l.blocks) &&
+           readDouble(v->get("dram_us"), l.dram_us) &&
+           readDouble(v->get("l2_us"), l.l2_us) &&
+           readDouble(v->get("launch_us"), l.launch_us) &&
+           readDouble(v->get("occupancy_blocks_per_sm"),
+                      l.occupancy_blocks_per_sm) &&
+           readBool(v->get("pipelined"), l.pipelined) &&
+           readDouble(v->get("serial_us"), l.serial_us) &&
+           readDouble(v->get("simt_us"), l.simt_us) &&
+           readDouble(v->get("smem_us"), l.smem_us) &&
+           readDouble(v->get("tc_us"), l.tc_us) &&
+           readDouble(v->get("total_us"), l.total_us);
+}
+
+std::optional<Region>
+regionFromName(const std::string &name)
+{
+    for (int r = 0; r < kNumRegions; ++r)
+        if (name == regionName(static_cast<Region>(r)))
+            return static_cast<Region>(r);
+    return std::nullopt;
+}
+
+} // namespace
+
+const char *
+regionName(Region region)
+{
+    switch (region) {
+      case Region::kPrologue: return "prologue";
+      case Region::kMainLoop: return "main_loop";
+      case Region::kEpilogue: return "epilogue";
+    }
+    return "prologue";
+}
+
+const char *
+boundName(Bound bound)
+{
+    switch (bound) {
+      case Bound::kDram: return "dram";
+      case Bound::kL2: return "l2";
+      case Bound::kTensorCore: return "tensor_core";
+      case Bound::kSimt: return "simt";
+      case Bound::kAlu: return "alu";
+      case Bound::kSmem: return "smem";
+      case Bound::kSerialization: return "serialization";
+    }
+    return "dram";
+}
+
+std::optional<Bound>
+boundFromName(const std::string &name)
+{
+    static const Bound all[] = {
+        Bound::kDram, Bound::kL2,   Bound::kTensorCore,    Bound::kSimt,
+        Bound::kAlu,  Bound::kSmem, Bound::kSerialization,
+    };
+    for (Bound b : all)
+        if (name == boundName(b))
+            return b;
+    return std::nullopt;
+}
+
+Bound
+classify(const ComponentUs &c)
+{
+    const std::pair<Bound, double> comps[] = {
+        {Bound::kDram, c.dram_us},        {Bound::kL2, c.l2_us},
+        {Bound::kTensorCore, c.tc_us},    {Bound::kSimt, c.simt_us},
+        {Bound::kAlu, c.alu_us},          {Bound::kSmem, c.smem_us},
+        {Bound::kSerialization, c.serial_us},
+    };
+    Bound best = Bound::kDram;
+    double best_us = c.dram_us;
+    for (const auto &[bound, us] : comps) {
+        if (us > best_us) {
+            best = bound;
+            best_us = us;
+        }
+    }
+    return best;
+}
+
+Bound
+classifyBound(const sim::LatencyBreakdown &breakdown)
+{
+    ComponentUs c;
+    c.dram_us = breakdown.dram_us;
+    c.l2_us = breakdown.l2_us;
+    c.tc_us = breakdown.tc_us;
+    c.simt_us = breakdown.simt_us;
+    c.alu_us = breakdown.alu_us;
+    c.smem_us = breakdown.smem_us;
+    c.serial_us = breakdown.serial_us;
+    return classify(c);
+}
+
+// ------------------------------------------------------------------
+// KernelProfile JSON
+// ------------------------------------------------------------------
+
+std::string
+KernelProfile::toJson() const
+{
+    std::string o = "{";
+    o += "\"arith_intensity\":" + fmtDouble(arith_intensity);
+    o += ",\"blocks_profiled\":" + std::to_string(blocks_profiled);
+    o += ",\"bound\":" + quoted(boundName(bound));
+    o += ",\"engine\":" + quoted(engine);
+    o += ",\"instructions\":[";
+    for (size_t i = 0; i < instructions.size(); ++i) {
+        const InstrProfile &instr = instructions[i];
+        if (i)
+            o += ',';
+        o += "{\"components\":" + componentsJson(instr.components);
+        o += ",\"counters\":" + countersJson(instr.counters);
+        o += ",\"est_us\":" + fmtDouble(instr.estUs());
+        o += ",\"executions\":" + std::to_string(instr.executions);
+        o += ",\"id\":" + std::to_string(instr.id);
+        o += ",\"opcode\":" + quoted(instr.opcode);
+        o += ",\"region\":" + quoted(regionName(instr.region));
+        o += '}';
+    }
+    o += "],\"kernel\":" + quoted(kernel);
+    o += ",\"latency\":" + latencyJson(latency);
+    o += ",\"memory_bound\":";
+    o += memory_bound ? "true" : "false";
+    o += ",\"regions\":[";
+    for (int r = 0; r < kNumRegions; ++r) {
+        const RegionProfile &reg = regions[static_cast<size_t>(r)];
+        if (r)
+            o += ',';
+        o += "{\"bound\":" + quoted(boundName(reg.bound));
+        o += ",\"components\":" + componentsJson(reg.components);
+        o += ",\"counters\":" + countersJson(reg.counters);
+        o += ",\"executions\":" + std::to_string(reg.executions);
+        o += ",\"instructions\":" + std::to_string(reg.instructions);
+        o += ",\"region\":" + quoted(regionName(reg.region));
+        o += '}';
+    }
+    o += "],\"ridge_flops_per_byte\":" + fmtDouble(ridge_flops_per_byte);
+    o += ",\"totals\":" + countersJson(totals);
+    o += '}';
+    return o;
+}
+
+std::optional<KernelProfile>
+KernelProfile::fromJson(const std::string &json)
+{
+    JsonValue root;
+    if (!JsonParser(json).parse(root) ||
+        root.kind != JsonValue::kObject)
+        return std::nullopt;
+
+    KernelProfile p;
+    std::string bound_name;
+    if (!readDouble(root.get("arith_intensity"), p.arith_intensity) ||
+        !readInt(root.get("blocks_profiled"), p.blocks_profiled) ||
+        !readString(root.get("bound"), bound_name) ||
+        !readString(root.get("engine"), p.engine) ||
+        !readString(root.get("kernel"), p.kernel) ||
+        !readLatency(root.get("latency"), p.latency) ||
+        !readBool(root.get("memory_bound"), p.memory_bound) ||
+        !readDouble(root.get("ridge_flops_per_byte"),
+                    p.ridge_flops_per_byte) ||
+        !readCounters(root.get("totals"), p.totals))
+        return std::nullopt;
+    std::optional<Bound> bound = boundFromName(bound_name);
+    if (!bound)
+        return std::nullopt;
+    p.bound = *bound;
+
+    const JsonValue *instrs = root.get("instructions");
+    if (!instrs || instrs->kind != JsonValue::kArray)
+        return std::nullopt;
+    for (const JsonValue &v : instrs->arr) {
+        if (v.kind != JsonValue::kObject)
+            return std::nullopt;
+        InstrProfile instr;
+        int64_t id = 0;
+        std::string region_name;
+        double est_us = 0; // derived; parsed only to validate presence
+        if (!readComponents(v.get("components"), instr.components) ||
+            !readCounters(v.get("counters"), instr.counters) ||
+            !readDouble(v.get("est_us"), est_us) ||
+            !readInt(v.get("executions"), instr.executions) ||
+            !readInt(v.get("id"), id) ||
+            !readString(v.get("opcode"), instr.opcode) ||
+            !readString(v.get("region"), region_name))
+            return std::nullopt;
+        instr.id = static_cast<int>(id);
+        std::optional<Region> region = regionFromName(region_name);
+        if (!region)
+            return std::nullopt;
+        instr.region = *region;
+        p.instructions.push_back(std::move(instr));
+    }
+
+    const JsonValue *regs = root.get("regions");
+    if (!regs || regs->kind != JsonValue::kArray ||
+        regs->arr.size() != static_cast<size_t>(kNumRegions))
+        return std::nullopt;
+    for (int r = 0; r < kNumRegions; ++r) {
+        const JsonValue &v = regs->arr[static_cast<size_t>(r)];
+        if (v.kind != JsonValue::kObject)
+            return std::nullopt;
+        RegionProfile reg;
+        std::string reg_bound, region_name;
+        if (!readString(v.get("bound"), reg_bound) ||
+            !readComponents(v.get("components"), reg.components) ||
+            !readCounters(v.get("counters"), reg.counters) ||
+            !readInt(v.get("executions"), reg.executions) ||
+            !readInt(v.get("instructions"), reg.instructions) ||
+            !readString(v.get("region"), region_name))
+            return std::nullopt;
+        std::optional<Bound> rb = boundFromName(reg_bound);
+        std::optional<Region> rr = regionFromName(region_name);
+        if (!rb || !rr || *rr != static_cast<Region>(r))
+            return std::nullopt;
+        reg.bound = *rb;
+        reg.region = *rr;
+        p.regions[static_cast<size_t>(r)] = std::move(reg);
+    }
+    return p;
+}
+
+// ------------------------------------------------------------------
+// ProfileCollector
+// ------------------------------------------------------------------
+
+ProfileCollector::ProfileCollector(const lir::Kernel &kernel)
+    : kernel_(kernel)
+{
+    // Locate the main k-loop: the first top-level-reachable LFor whose
+    // extent is the kernel's main_loop_extent — by node identity when
+    // the kernel came straight from the compiler, by structural key
+    // when it was deserialized from the kernel cache (node identity
+    // does not survive the round trip).
+    std::string main_key;
+    if (kernel.main_loop_extent)
+        main_key = ir::structuralKey(kernel.main_loop_extent);
+
+    enum class Phase
+    {
+        kBefore,
+        kInside,
+        kAfter
+    };
+    Phase phase = Phase::kBefore;
+    bool main_found = false;
+
+    std::function<void(const lir::LBody &)> walk =
+        [&](const lir::LBody &body) {
+            for (const lir::LNode &node : body) {
+                if (const lir::LOp *op =
+                        std::get_if<lir::LOp>(&node.node)) {
+                    InstrProfile row;
+                    row.id = static_cast<int>(rows_.size());
+                    row.opcode = std::visit(OpcodeVisitor{}, *op);
+                    row.region = phase == Phase::kBefore
+                                     ? Region::kPrologue
+                                 : phase == Phase::kInside
+                                     ? Region::kMainLoop
+                                     : Region::kEpilogue;
+                    index_.emplace(op, row.id);
+                    rows_.push_back(std::move(row));
+                } else if (const lir::LFor *loop =
+                               std::get_if<lir::LFor>(&node.node)) {
+                    bool is_main =
+                        !main_found && phase == Phase::kBefore &&
+                        kernel.main_loop_extent &&
+                        (loop->extent.get() ==
+                             kernel.main_loop_extent.get() ||
+                         ir::structuralKey(loop->extent) == main_key);
+                    if (is_main) {
+                        main_found = true;
+                        phase = Phase::kInside;
+                    }
+                    walk(*loop->body);
+                    if (is_main)
+                        phase = Phase::kAfter;
+                } else if (const lir::LIf *branch =
+                               std::get_if<lir::LIf>(&node.node)) {
+                    walk(*branch->then_body);
+                    if (branch->else_body)
+                        walk(*branch->else_body);
+                } else if (const lir::LWhile *loop_w =
+                               std::get_if<lir::LWhile>(&node.node)) {
+                    walk(*loop_w->body);
+                }
+                // LAssign / LBreak / LContinue carry no leaf ops.
+            }
+        };
+    walk(kernel.body);
+}
+
+ProfileCounters
+ProfileCollector::attributedTotals() const
+{
+    ProfileCounters total;
+    for (const InstrProfile &row : rows_)
+        total.add(row.counters);
+    return total;
+}
+
+KernelProfile
+ProfileCollector::finish(const sim::SimStats &block_stats,
+                         const ir::Env &args, const sim::GpuSpec &spec,
+                         const sim::PerfTraits &traits,
+                         const std::string &engine) const
+{
+    KernelProfile out;
+    out.kernel = kernel_.name;
+    out.engine = engine;
+    out.blocks_profiled = blocks_;
+    out.instructions = rows_;
+    out.totals = attributedTotals();
+    out.latency =
+        sim::estimateLatency(kernel_, block_stats, args, spec, traits);
+    out.bound = classifyBound(out.latency);
+
+    // Roofline verdict: block flops (2 per fma) per global byte moved,
+    // against the spec's tensor-core/DRAM ridge point.
+    const double flops = static_cast<double>(block_stats.mma_flops) +
+                         2.0 * static_cast<double>(block_stats.simt_fma);
+    const double bytes =
+        static_cast<double>(block_stats.global_load_bytes +
+                            block_stats.global_store_bytes);
+    out.arith_intensity = bytes > 0 ? flops / bytes : 0.0;
+    out.ridge_flops_per_byte =
+        spec.fp16_tc_tflops * 1e12 / (spec.dram_gbps * 1e9);
+    out.memory_bound = out.arith_intensity < out.ridge_flops_per_byte;
+
+    // ---- Attribute each LatencyBreakdown component over instructions.
+    // Weights mirror sim/timing.cc: an instruction's share of a
+    // component equals its share of the counters that component's cost
+    // formula consumes. cp_async_bytes are already included in
+    // global_load_bytes at issue, so the memory weight must not add
+    // them twice.
+    auto mem_w = [](const ProfileCounters &c) {
+        return static_cast<double>(c.global_load_bytes +
+                                   c.global_store_bytes);
+    };
+    auto tc_w = [](const ProfileCounters &c) {
+        return static_cast<double>(c.mma_flops);
+    };
+    auto simt_w = [](const ProfileCounters &c) {
+        return static_cast<double>(c.simt_fma);
+    };
+    auto alu_w = [](const ProfileCounters &c) {
+        return static_cast<double>(c.alu_elt_ops) +
+               1.0 * static_cast<double>(c.cast_vec_elems) +
+               6.0 * static_cast<double>(c.cast_scalar_elems) +
+               4.0 * static_cast<double>(c.bit_extract_ops) +
+               2.0 * static_cast<double>(c.ldg_ops + c.stg_ops);
+    };
+    auto smem_w = [](const ProfileCounters &c) {
+        return static_cast<double>(c.smem_load_bytes +
+                                   c.smem_store_bytes);
+    };
+    auto sync_w = [](const ProfileCounters &c) {
+        return static_cast<double>(c.bar_syncs + c.cp_commits);
+    };
+
+    double mem_total = 0, tc_total = 0, simt_total = 0, alu_total = 0,
+           smem_total = 0, sync_total = 0;
+    for (const InstrProfile &row : out.instructions) {
+        mem_total += mem_w(row.counters);
+        tc_total += tc_w(row.counters);
+        simt_total += simt_w(row.counters);
+        alu_total += alu_w(row.counters);
+        smem_total += smem_w(row.counters);
+        sync_total += sync_w(row.counters);
+    }
+
+    // Serialized time splits into the synchronization term (0.01 µs per
+    // bar.sync / commit, attributable per instruction) and the
+    // structural round-trip / pipeline-fill term, which belongs to the
+    // main loop as a whole rather than to any one instruction.
+    const double waves =
+        std::ceil(static_cast<double>(out.latency.blocks) /
+                  std::max(1.0, out.latency.occupancy_blocks_per_sm *
+                                    spec.num_sms));
+    double sync_us =
+        0.01 *
+        static_cast<double>(block_stats.bar_syncs +
+                            block_stats.cp_commits) *
+        waves;
+    sync_us = std::min(sync_us, out.latency.serial_us);
+    const double structural_serial_us = out.latency.serial_us - sync_us;
+
+    for (InstrProfile &row : out.instructions) {
+        const ProfileCounters &c = row.counters;
+        if (mem_total > 0) {
+            row.components.dram_us =
+                out.latency.dram_us * mem_w(c) / mem_total;
+            row.components.l2_us =
+                out.latency.l2_us * mem_w(c) / mem_total;
+        }
+        if (tc_total > 0)
+            row.components.tc_us =
+                out.latency.tc_us * tc_w(c) / tc_total;
+        if (simt_total > 0)
+            row.components.simt_us =
+                out.latency.simt_us * simt_w(c) / simt_total;
+        if (alu_total > 0)
+            row.components.alu_us =
+                out.latency.alu_us * alu_w(c) / alu_total;
+        if (smem_total > 0)
+            row.components.smem_us =
+                out.latency.smem_us * smem_w(c) / smem_total;
+        if (sync_total > 0)
+            row.components.serial_us = sync_us * sync_w(c) / sync_total;
+    }
+
+    // ---- Region rollups and classification.
+    for (int r = 0; r < kNumRegions; ++r)
+        out.regions[static_cast<size_t>(r)].region =
+            static_cast<Region>(r);
+    for (const InstrProfile &row : out.instructions) {
+        RegionProfile &reg =
+            out.regions[static_cast<size_t>(row.region)];
+        reg.instructions += 1;
+        reg.executions += row.executions;
+        reg.counters.add(row.counters);
+        reg.components.add(row.components);
+    }
+    const size_t main_idx = static_cast<size_t>(Region::kMainLoop);
+    RegionProfile &structural_region =
+        out.regions[main_idx].instructions > 0
+            ? out.regions[main_idx]
+            : out.regions[static_cast<size_t>(Region::kPrologue)];
+    structural_region.components.serial_us += structural_serial_us;
+    for (int r = 0; r < kNumRegions; ++r) {
+        RegionProfile &reg = out.regions[static_cast<size_t>(r)];
+        reg.bound = classify(reg.components);
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------
+// ProfileSink
+// ------------------------------------------------------------------
+
+namespace {
+
+void
+atexitFlushProfiles()
+{
+    ProfileSink::instance().flush();
+}
+
+} // namespace
+
+ProfileSink &
+ProfileSink::instance()
+{
+    // Leaked on purpose: the atexit flush (and late launches from
+    // static destructors) must outlive ordinary static teardown.
+    static ProfileSink *sink = [] {
+        auto *s = new ProfileSink();
+        if (const char *path = std::getenv("TILUS_PROFILE");
+            path && *path) {
+            s->enable(path);
+            std::atexit(atexitFlushProfiles);
+        }
+        return s;
+    }();
+    return *sink;
+}
+
+void
+ProfileSink::enable(const std::string &path)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        path_ = path;
+        profiles_.clear();
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+ProfileSink::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    profiles_.clear();
+    path_.clear();
+}
+
+void
+ProfileSink::record(KernelProfile profile)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    profiles_[profile.kernel] = std::move(profile);
+}
+
+std::string
+ProfileSink::document() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string o = "{";
+    o += "\"build_info\":" + buildInfoJson();
+    o += ",\"profiles\":[";
+    bool first = true;
+    for (const auto &[name, profile] : profiles_) {
+        if (!first)
+            o += ',';
+        first = false;
+        o += profile.toJson();
+    }
+    o += "],\"schema\":\"tilus-profile-v1\"}";
+    o += '\n';
+    return o;
+}
+
+bool
+ProfileSink::flush()
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        path = path_;
+    }
+    if (path.empty())
+        return false;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        warn("cannot write profile document to " + path);
+        return false;
+    }
+    out << document();
+    return static_cast<bool>(out);
+}
+
+int64_t
+ProfileSink::profileCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int64_t>(profiles_.size());
+}
+
+} // namespace obs
+} // namespace tilus

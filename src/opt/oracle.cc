@@ -44,7 +44,8 @@ fillDevice(sim::Device &device, int64_t bytes, uint64_t seed)
 
 sim::SimStats
 runSeeded(const lir::Kernel &kernel, const OracleConfig &config,
-          sim::Device &device, sim::Engine engine)
+          sim::Device &device, sim::Engine engine,
+          obs::ProfileCollector *profile)
 {
     // Partition DRAM into equal arenas per pointer parameter; the final
     // share is left unclaimed so the interpreter's workspace allocation
@@ -80,6 +81,7 @@ runSeeded(const lir::Kernel &kernel, const OracleConfig &config,
     options.max_blocks = config.max_blocks;
     options.enable_print = false;
     options.engine = engine;
+    options.profile = profile;
     return sim::run(kernel, env, &device, options);
 }
 

@@ -89,10 +89,13 @@ OracleReport diffEngines(const lir::Kernel &kernel,
 /**
  * One functional run on a freshly seeded device under a chosen engine
  * (the building block of both diff flavours; bench_interp times it).
+ * When @p profile is non-null the run attributes counter deltas to LIR
+ * instructions (conservation tests and the profiling A/B bench).
  */
 sim::SimStats runSeeded(const lir::Kernel &kernel,
                         const OracleConfig &config, sim::Device &device,
-                        sim::Engine engine = sim::Engine::kAuto);
+                        sim::Engine engine = sim::Engine::kAuto,
+                        obs::ProfileCollector *profile = nullptr);
 
 /**
  * Byte-compare two devices; on mismatch writes the first differing

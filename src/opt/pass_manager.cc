@@ -85,6 +85,24 @@ PassManager::runImpl(lir::Kernel &kernel, const ir::Env *args,
         instrument(record);
         records_.push_back(std::move(record));
     }
+    // Per-pass LatencyBreakdown deltas on the pipeline span
+    // (instrumented runs only): which component each pass moved — e.g.
+    // software-pipeline collapsing serial_us — readable straight off
+    // the trace without replaying the pipeline.
+    if (pipeline_span.live() && args && spec) {
+        for (size_t i = 1; i < records_.size(); ++i) {
+            const sim::LatencyBreakdown &prev = records_[i - 1].latency;
+            const sim::LatencyBreakdown &cur = records_[i].latency;
+            const std::string &name = records_[i].name;
+            pipeline_span
+                .arg((name + ".d_total_us").c_str(),
+                     cur.total_us - prev.total_us)
+                .arg((name + ".d_serial_us").c_str(),
+                     cur.serial_us - prev.serial_us)
+                .arg((name + ".d_dram_us").c_str(),
+                     cur.dram_us - prev.dram_us);
+        }
+    }
     return any;
 }
 

@@ -1,6 +1,7 @@
 #include "runtime/runtime.h"
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "support/error.h"
 #include "support/fault.h"
@@ -233,7 +234,24 @@ Runtime::launch(const lir::Kernel &kernel, const std::vector<KernelArg> &args)
                               << spec_.max_smem_per_block);
     sim::RunOptions options;
     options.micro_program = cachedProgram(kernel);
-    return sim::run(kernel, toEnv(kernel, args), &device_, options);
+    obs::ProfileSink &sink = obs::ProfileSink::instance();
+    if (!sink.enabled())
+        return sim::run(kernel, toEnv(kernel, args), &device_, options);
+
+    // TILUS_PROFILE armed: attribute this launch's counters to LIR
+    // instructions, fold in the analytical model (a one-block ghost
+    // trace supplies the timing input), and hand the profile to the
+    // sink for the process-exit document.
+    ir::Env env = toEnv(kernel, args);
+    obs::ProfileCollector collector(kernel);
+    options.profile = &collector;
+    sim::SimStats stats = sim::run(kernel, env, &device_, options);
+    sim::SimStats block_stats =
+        sim::traceOneBlock(kernel, env, options.micro_program);
+    sink.record(collector.finish(block_stats, env, spec_, {},
+                                 stats.used_microops ? "microop"
+                                                     : "treewalk"));
+    return stats;
 }
 
 sim::SimStats

@@ -12,6 +12,7 @@
 #include "ir/instruction.h"
 #include "layout/atoms.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "sim/exec_common.h"
 #include "sim/microop.h"
@@ -120,7 +121,15 @@ class BlockExecutor
             if (exited_ || break_ || continue_)
                 return;
             if (std::holds_alternative<LOp>(node.node)) {
-                execOp(std::get<LOp>(node.node));
+                const LOp &op = std::get<LOp>(node.node);
+                if (options_.profile == nullptr) {
+                    execOp(op);
+                } else {
+                    const obs::ProfileCounters before =
+                        obs::ProfileCounters::capture(stats_);
+                    execOp(op);
+                    options_.profile->attribute(&op, before, stats_);
+                }
             } else if (std::holds_alternative<LFor>(node.node)) {
                 const auto &loop = std::get<LFor>(node.node);
                 int64_t extent = ir::evalInt(loop.extent, block_env_);
@@ -749,6 +758,8 @@ run(const lir::Kernel &kernel, ir::Env args, Device *device,
             if (d < kernel.block_index_vars.size())
                 env.bind(kernel.block_index_vars[d].id(), bidx[d]);
         }
+        if (options.profile != nullptr)
+            options.profile->noteBlock();
         if (program != nullptr) {
             runMicroBlock(*program, env, device, stats, options,
                           linear == 0);

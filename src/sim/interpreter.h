@@ -24,6 +24,11 @@
 #include "sim/stats.h"
 
 namespace tilus {
+
+namespace obs {
+class ProfileCollector; // obs/profile.h
+}
+
 namespace sim {
 
 class MicroProgram; // sim/microop.h
@@ -72,6 +77,13 @@ struct RunOptions
      * null the program is decoded on the fly, once per run() call.
      */
     const MicroProgram *micro_program = nullptr;
+    /**
+     * When non-null, both engines attribute every additive SimStats
+     * counter delta to the originating LIR leaf instruction (see
+     * obs/profile.h). Disarmed (null) this costs exactly one pointer
+     * test per executed leaf and runs stay byte-identical.
+     */
+    obs::ProfileCollector *profile = nullptr;
 };
 
 /**

@@ -12,6 +12,7 @@
 #include "dtype/packing.h"
 #include "ir/instruction.h"
 #include "layout/atoms.h"
+#include "obs/profile.h"
 #include "sim/exec_common.h"
 #include "support/error.h"
 #include "support/math_util.h"
@@ -788,10 +789,20 @@ class MicroExecutor
         for (;;) {
             const MicroOp &op = ops[pc];
             switch (op.kind) {
-              case MicroOp::kLeaf:
-                execLeaf(program_.leaves()[op.a]);
+              case MicroOp::kLeaf: {
+                const DecodedLeaf &leaf = program_.leaves()[op.a];
+                if (options_.profile == nullptr) {
+                    execLeaf(leaf);
+                } else {
+                    const obs::ProfileCounters before =
+                        obs::ProfileCounters::capture(stats_);
+                    execLeaf(leaf);
+                    options_.profile->attribute(leaf.op, before,
+                                                stats_);
+                }
                 ++pc;
                 break;
+              }
               case MicroOp::kJump:
                 pc = op.a;
                 break;

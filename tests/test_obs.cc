@@ -336,7 +336,7 @@ TEST(BuildInfo, ProvenanceIsStamped)
     EXPECT_NE(json.find("\"compiler_revision\":1"), std::string::npos);
     EXPECT_NE(json.find("\"cache_format_version\":1"),
               std::string::npos);
-    EXPECT_NE(json.find("\"tune_db_version\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"tune_db_version\":2"), std::string::npos);
 }
 
 // ---------------------------------------------------------------- sketch

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Kernel-profiler tests (obs/profile.h): conservation — per-instruction
+ * attributed counters must sum exactly to the whole-run SimStats for
+ * every suite kernel, on both engines, at O0 and O2 — plus
+ * instruction-by-instruction cross-engine agreement, the golden
+ * stage-1 u4 matmul profile (region segmentation, roofline
+ * classification, JSON round trip), and the disarmed-mode guarantee
+ * that profiling off means byte-identical devices.
+ */
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.h"
+#include "kernels/elementwise.h"
+#include "kernels/matmul.h"
+#include "obs/profile.h"
+#include "opt/oracle.h"
+#include "sim/gpu_spec.h"
+#include "sim/interpreter.h"
+
+namespace tilus {
+namespace {
+
+kernels::MatmulConfig
+baseConfig(DataType wdtype)
+{
+    kernels::MatmulConfig cfg;
+    cfg.wdtype = wdtype;
+    cfg.n = 256;
+    cfg.k = 64;
+    cfg.bm = 16;
+    cfg.bn = 64;
+    cfg.bk = 32;
+    cfg.warp_m = 1;
+    cfg.warp_n = 2;
+    return cfg;
+}
+
+/** The conservation suite: matmul variants, elementwise, transform. */
+std::vector<std::pair<std::string, ir::Program>>
+suitePrograms()
+{
+    std::vector<std::pair<std::string, ir::Program>> programs;
+    for (int stages : {1, 2}) {
+        auto cfg = baseConfig(tilus::uint4());
+        cfg.stages = stages;
+        programs.emplace_back(cfg.name(),
+                              kernels::buildMatmul(cfg).main_program);
+    }
+    {
+        auto cfg = baseConfig(tilus::float16());
+        cfg.stages = 1;
+        programs.emplace_back(cfg.name(),
+                              kernels::buildMatmul(cfg).main_program);
+    }
+    {
+        kernels::MatmulConfig cfg;
+        cfg.wdtype = tilus::uint4();
+        cfg.n = 256;
+        cfg.k = 64;
+        cfg.bm = 2;
+        cfg.bn = 128;
+        cfg.bk = 32;
+        cfg.simt_warps = 2;
+        cfg.stages = 1;
+        cfg.use_tensor_cores = false;
+        programs.emplace_back(cfg.name(),
+                              kernels::buildMatmul(cfg).main_program);
+    }
+    {
+        auto cfg = baseConfig(tilus::uint4());
+        cfg.stages = 2;
+        auto bundle = kernels::buildMatmul(cfg);
+        programs.emplace_back("transform", *bundle.transform_program);
+    }
+    programs.emplace_back("vector_add",
+                          kernels::buildVectorAdd(2, 4).program);
+    programs.emplace_back("axpy", kernels::buildAxpy(1, 2).program);
+    return programs;
+}
+
+/** One profiled seeded run; returns the run's whole-kernel stats. */
+sim::SimStats
+profiledRun(const lir::Kernel &kernel, sim::Engine engine,
+            obs::ProfileCollector &collector)
+{
+    opt::OracleConfig config;
+    config.scalars = {{"m", 16}, {"n", 512}};
+    sim::Device device(config.device_bytes);
+    return opt::runSeeded(kernel, config, device, engine, &collector);
+}
+
+// ---------------------------------------------------------------------
+// Conservation: attributed counters sum exactly to the run's SimStats.
+// ---------------------------------------------------------------------
+
+TEST(ProfileConservation, SuiteKernelsBothEnginesBothLevels)
+{
+    for (const auto &[name, program] : suitePrograms()) {
+        for (compiler::OptLevel level :
+             {compiler::OptLevel::O0, compiler::OptLevel::O2}) {
+            compiler::CompileOptions options;
+            options.opt_level = level;
+            lir::Kernel kernel = compiler::compile(program, options);
+            const char *tag =
+                level == compiler::OptLevel::O0 ? "O0" : "O2";
+
+            obs::ProfileCollector tree(kernel);
+            sim::SimStats tree_stats =
+                profiledRun(kernel, sim::Engine::kTreeWalk, tree);
+            EXPECT_FALSE(tree_stats.used_microops);
+            EXPECT_EQ(tree.attributedTotals(),
+                      obs::ProfileCounters::capture(tree_stats))
+                << name << " " << tag << " (treewalk)";
+
+            obs::ProfileCollector micro(kernel);
+            sim::SimStats micro_stats =
+                profiledRun(kernel, sim::Engine::kMicroOps, micro);
+            EXPECT_TRUE(micro_stats.used_microops);
+            EXPECT_EQ(micro.attributedTotals(),
+                      obs::ProfileCounters::capture(micro_stats))
+                << name << " " << tag << " (microop)";
+
+            // Engines must agree instruction by instruction, not just
+            // in aggregate. (Executions are compared except on "exit",
+            // which the micro-op engine compiles to a jump, not a
+            // counted leaf; its counters are all zero either way.)
+            ASSERT_EQ(tree.numInstructions(), micro.numInstructions());
+            for (size_t i = 0; i < tree.numInstructions(); ++i) {
+                const obs::InstrProfile &a = tree.row(i);
+                const obs::InstrProfile &b = micro.row(i);
+                EXPECT_EQ(a.counters, b.counters)
+                    << name << " " << tag << " instr #" << a.id << " ("
+                    << a.opcode << ")";
+                if (a.opcode != "exit") {
+                    EXPECT_EQ(a.executions, b.executions)
+                        << name << " " << tag << " instr #" << a.id
+                        << " (" << a.opcode << ")";
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The golden profile: stage-1 u4 matmul, regions, roofline, round trip.
+// ---------------------------------------------------------------------
+
+obs::KernelProfile
+goldenProfile(compiler::OptLevel level)
+{
+    kernels::MatmulConfig cfg = baseConfig(tilus::uint4());
+    cfg.n = 4096;
+    cfg.k = 4096;
+    cfg.stages = 1;
+    compiler::CompileOptions options;
+    options.opt_level = level;
+    lir::Kernel kernel =
+        compiler::compile(kernels::buildMatmul(cfg).main_program,
+                          options);
+    ir::Env env;
+    for (const ir::Var &p : kernel.params)
+        env.bind(p, p.name() == "m" ? 16 : 0);
+
+    sim::SimStats block_stats = sim::traceOneBlock(kernel, env);
+    obs::ProfileCollector collector(kernel);
+    sim::RunOptions run;
+    run.mode = sim::MemoryMode::kGhost;
+    run.max_blocks = 1;
+    run.enable_print = false;
+    run.profile = &collector;
+    sim::SimStats stats = sim::run(kernel, env, nullptr, run);
+    return collector.finish(block_stats, env, sim::l40s(), {},
+                            stats.used_microops ? "microop"
+                                                : "treewalk");
+}
+
+TEST(ProfileGolden, MainLoopBoundFlipsFromSerializationToDram)
+{
+    // Figure 1(b): the synchronous loop stalls on the DRAM round trip
+    // (serialization-bound); software pipelining turns the same loop
+    // bandwidth-bound.
+    obs::KernelProfile o0 = goldenProfile(compiler::OptLevel::O0);
+    EXPECT_EQ(o0.region(obs::Region::kMainLoop).bound,
+              obs::Bound::kSerialization);
+    EXPECT_EQ(o0.bound, obs::Bound::kSerialization);
+
+    obs::KernelProfile o2 = goldenProfile(compiler::OptLevel::O2);
+    EXPECT_EQ(o2.region(obs::Region::kMainLoop).bound,
+              obs::Bound::kDram);
+    EXPECT_EQ(o2.bound, obs::Bound::kDram);
+    EXPECT_LT(o2.latency.total_us, o0.latency.total_us);
+
+    // Both sit on the memory-bound side of the roofline: the u4 matmul
+    // at m=16 has far less arithmetic intensity than the ridge point.
+    for (const obs::KernelProfile *p : {&o0, &o2}) {
+        EXPECT_TRUE(p->memory_bound);
+        EXPECT_GT(p->arith_intensity, 0);
+        EXPECT_LT(p->arith_intensity, p->ridge_flops_per_byte);
+        EXPECT_EQ(p->blocks_profiled, 1);
+    }
+
+    // Region segmentation: the k-loop dominates and every instruction
+    // landed in exactly one region.
+    int64_t instrs = 0;
+    for (const obs::RegionProfile &region : o2.regions)
+        instrs += region.instructions;
+    EXPECT_EQ(instrs, int64_t(o2.instructions.size()));
+    EXPECT_GT(o2.region(obs::Region::kMainLoop).executions,
+              o2.region(obs::Region::kPrologue).executions);
+}
+
+TEST(ProfileGolden, JsonRoundTripsByteIdentical)
+{
+    obs::KernelProfile profile = goldenProfile(compiler::OptLevel::O2);
+    const std::string json = profile.toJson();
+    std::optional<obs::KernelProfile> parsed =
+        obs::KernelProfile::fromJson(json);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->toJson(), json);
+    EXPECT_EQ(parsed->bound, profile.bound);
+    EXPECT_EQ(parsed->totals, profile.totals);
+    EXPECT_EQ(parsed->instructions.size(), profile.instructions.size());
+
+    // Malformed documents parse to nullopt, never throw.
+    EXPECT_FALSE(obs::KernelProfile::fromJson("").has_value());
+    EXPECT_FALSE(obs::KernelProfile::fromJson("{").has_value());
+    EXPECT_FALSE(obs::KernelProfile::fromJson("[1,2]").has_value());
+    EXPECT_FALSE(
+        obs::KernelProfile::fromJson("{\"kernel\":\"x\"}").has_value());
+}
+
+TEST(ProfileGolden, BoundNamesRoundTrip)
+{
+    for (obs::Bound bound :
+         {obs::Bound::kDram, obs::Bound::kL2, obs::Bound::kTensorCore,
+          obs::Bound::kSimt, obs::Bound::kAlu, obs::Bound::kSmem,
+          obs::Bound::kSerialization}) {
+        EXPECT_EQ(obs::boundFromName(obs::boundName(bound)), bound);
+    }
+    EXPECT_FALSE(obs::boundFromName("not-a-bound").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Disarmed mode: profiling off leaves runs byte-identical.
+// ---------------------------------------------------------------------
+
+TEST(ProfileDisarmed, RunsAreByteIdenticalWithAndWithoutProfiling)
+{
+    auto cfg = baseConfig(tilus::uint4());
+    cfg.stages = 1;
+    lir::Kernel kernel =
+        compiler::compile(kernels::buildMatmul(cfg).main_program, {});
+    opt::OracleConfig config;
+    config.scalars = {{"m", 16}};
+
+    sim::Device plain_a(config.device_bytes);
+    sim::Device plain_b(config.device_bytes);
+    sim::Device armed(config.device_bytes);
+    opt::runSeeded(kernel, config, plain_a);
+    opt::runSeeded(kernel, config, plain_b);
+    obs::ProfileCollector collector(kernel);
+    opt::runSeeded(kernel, config, armed, sim::Engine::kAuto,
+                   &collector);
+
+    std::string detail;
+    EXPECT_TRUE(opt::devicesIdentical(plain_a, plain_b,
+                                      config.device_bytes, &detail))
+        << detail;
+    EXPECT_TRUE(opt::devicesIdentical(plain_a, armed,
+                                      config.device_bytes, &detail))
+        << detail;
+    EXPECT_GT(collector.numInstructions(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// The sink document (what TILUS_PROFILE writes).
+// ---------------------------------------------------------------------
+
+TEST(ProfileSink, DocumentCarriesSchemaAndRecordedProfiles)
+{
+    obs::ProfileSink &sink = obs::ProfileSink::instance();
+    ASSERT_FALSE(sink.enabled()) << "TILUS_PROFILE armed under ctest";
+    sink.enable("/dev/null");
+    obs::KernelProfile profile = goldenProfile(compiler::OptLevel::O2);
+    sink.record(profile);
+    EXPECT_EQ(sink.profileCount(), 1);
+    const std::string doc = sink.document();
+    EXPECT_NE(doc.find("\"schema\":\"tilus-profile-v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"build_info\":"), std::string::npos);
+    EXPECT_NE(doc.find(profile.toJson()), std::string::npos);
+    sink.disable();
+    EXPECT_EQ(sink.profileCount(), 0);
+}
+
+} // namespace
+} // namespace tilus

@@ -41,6 +41,12 @@ SPECS = {
             ("o2_total_us", "lower", 0.02),
             ("o2_pipelined", "equal", 0),
             ("o2_bar_syncs", "lower", 0.0),
+            ("o0_serial_us", "lower", 0.02),
+            ("o2_serial_us", "lower", 0.02),
+            ("o0_dram_us", "lower", 0.02),
+            ("o2_dram_us", "lower", 0.02),
+            ("o0_bound", "equal", 0),  # roofline verdicts are modeled,
+            ("o2_bound", "equal", 0),  # so they must replay exactly
         ],
     },
     "interp": {
@@ -49,6 +55,29 @@ SPECS = {
             ("speedup", "higher", 0.50),  # wall clock: wide margin
             ("identical", "equal", 0),    # engines must agree exactly
             ("used_microops", "equal", 0),
+        ],
+        "doc_metrics": [
+            # Armed-profiler A/B: byte identity is exact; the overhead
+            # ratio is host wall clock, so only gross blowups are gated.
+            ("profile_identical", "equal", 0),
+            ("profile_overhead", "lower", 2.0),
+        ],
+    },
+    "profile": {
+        "run_key": ("kernel", "opt_level"),
+        "metrics": [
+            # Everything here comes off the deterministic cost model:
+            # bounds exactly, component microseconds tight.
+            ("main_loop_bound", "equal", 0),
+            ("kernel_bound", "equal", 0),
+            ("memory_bound", "equal", 0),
+            ("total_us", "lower", 0.02),
+            ("arith_intensity", "higher", 0.02),
+            ("main_loop_components.dram_us", "lower", 0.02),
+            ("main_loop_components.serial_us", "lower", 0.02),
+            ("main_loop_components.tc_us", "lower", 0.02),
+            ("main_loop_components.alu_us", "lower", 0.02),
+            ("main_loop_components.smem_us", "lower", 0.02),
         ],
     },
     "compile": {
@@ -191,6 +220,22 @@ def main(argv):
     for rid in fresh_runs:
         if rid not in base_runs:
             rows.append((rid, "(run)", "-", "-", "new run", "pass"))
+
+    # Top-level document metrics (e.g. the interp profiler A/B), gated
+    # the same way as per-run ones.
+    for path, direction, margin in spec.get("doc_metrics", []):
+        base_v = lookup(base_doc, path)
+        fresh_v = lookup(fresh_doc, path)
+        status, delta = compare_metric(base_v, fresh_v, direction,
+                                       margin)
+        if status == "skip":
+            continue
+        if status == "FAIL":
+            failures += 1
+        limit = ("==" if direction == "equal"
+                 else f"{direction[0]}{margin * 100:.0f}%")
+        rows.append(("(document)", path, _fmt(base_v), _fmt(fresh_v),
+                     f"{delta} [{limit}]", status))
 
     widths = [max(len(str(row[i])) for row in rows + [_HDR])
               for i in range(6)]

@@ -12,7 +12,10 @@ Checks (see src/obs/README.md for the emitter contract):
   * counter (C) events carry a numeric "value" arg;
   * instant (i) events are accepted anywhere; category "fault" ones
     (injected-fault markers, see src/support/fault.h) must live on the
-    wall clock and carry a string "site" arg;
+    wall clock and carry a string "site" arg; category "profile" ones
+    (autotune candidate cost breakdowns, see src/obs/profile.h) must
+    live on the wall clock, carry a "bound" arg naming a roofline
+    bound, and carry every numeric latency-component field;
   * per-window series counter tracks (category "series", names
     "win:*", one sample per fixed window) have strictly increasing,
     uniformly spaced timestamps per (pid, name) track;
@@ -43,10 +46,19 @@ REQUIRED_CATS = {
     "compiler": "wall",
     "autotune": "wall",
     "cache": "wall",
+    "profile": "wall",  # autotune candidate cost-breakdown instants
     "serving": "any",  # wall simulate span + virtual step spans
     "request": "virtual",
     "series": "virtual",  # per-window report series counter tracks
 }
+
+# Roofline bound names of obs::Bound (src/obs/profile.h).
+PROFILE_BOUNDS = {"dram", "l2", "tensor_core", "simt", "alu", "smem",
+                  "serialization"}
+
+# Numeric latency-component fields every profile instant must carry.
+PROFILE_COMPONENTS = ("total_us", "dram_us", "l2_us", "tc_us",
+                      "simt_us", "alu_us", "smem_us", "serial_us")
 
 
 def fail(msg):
@@ -131,6 +143,22 @@ def validate(path, require_fault=False):
                 if not isinstance(site, str) or not site:
                     fail(f"event {i}: fault instant without a string "
                          f"'site' arg: {e}")
+            elif cat == "profile":
+                if pid != WALL_PID:
+                    fail(f"event {i}: profile instant must be on the "
+                         f"wall clock (pid {WALL_PID}), found pid {pid}")
+                args = e.get("args", {})
+                bound = args.get("bound")
+                if bound not in PROFILE_BOUNDS:
+                    fail(f"event {i}: profile instant 'bound' arg "
+                         f"{bound!r} is not a roofline bound "
+                         f"{sorted(PROFILE_BOUNDS)}")
+                for field in PROFILE_COMPONENTS:
+                    v = args.get(field)
+                    if not isinstance(v, (int, float)) or \
+                            isinstance(v, bool):
+                        fail(f"event {i}: profile instant missing "
+                             f"numeric '{field}' arg: {e}")
         elif ph == "C":
             args = e.get("args", {})
             if not any(isinstance(v, (int, float)) and
