@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The differential fuzzing smoke driver (also the CI fuzz step).
+ *
+ * Runs the seeded generate -> 6-leg diff -> minimize loop and exits
+ * non-zero when anything alarming happened (divergence, crash,
+ * verifier gap, generator bug). Every finding prints a one-line repro:
+ *
+ *     TILUS_FUZZ_SEED=<seed> TILUS_FUZZ_BUDGET=1 ./build/fuzz_smoke
+ *
+ * Flags (env TILUS_FUZZ_SEED / TILUS_FUZZ_BUDGET applies first, argv
+ * overrides):
+ *     --seed N          master seed (0x... accepted)
+ *     --budget N        programs to run
+ *     --plant-bug       flip an op in the O2 kernel (self-test: the
+ *                       harness must report a divergence)
+ *     --write-corpus D  serialize reduced findings into directory D
+ *     --no-minimize     keep findings unreduced
+ *     --seed-corpus D   regression-corpus seeding: walk the seed chain
+ *                       and write the first clean kernel of every bug
+ *                       class into D as <class>_<seed>.lirk, then exit
+ */
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "compiler/compiler.h"
+#include "fuzz/fuzz.h"
+#include "fuzz/generator.h"
+#include "support/error.h"
+
+using namespace tilus;
+
+namespace {
+
+int
+seedCorpus(const std::string &dir, const fuzz::FuzzConfig &config)
+{
+    const char *classes[] = {"layout", "masking", "sync", "dtype",
+                             "control"};
+    std::map<std::string, bool> missing;
+    for (const char *c : classes)
+        missing[c] = true;
+    uint64_t chain = config.seed;
+    for (int i = 0; i < 4000 && !missing.empty(); ++i) {
+        const uint64_t seed = chain;
+        chain = fuzz::nextSeed(chain);
+        fuzz::Generated gen = fuzz::generateProgram(seed);
+        if (gen.expect_invalid || missing.find(gen.bug_class) == missing.end())
+            continue;
+        if (fuzz::runHarness(gen.program, config.harness).verdict !=
+            fuzz::Verdict::kPass)
+            continue;
+        compiler::CompileOptions o0;
+        o0.opt_level = compiler::OptLevel::O0;
+        char path[512];
+        std::snprintf(path, sizeof(path), "%s/%s_%llx.lirk", dir.c_str(),
+                      gen.bug_class,
+                      static_cast<unsigned long long>(seed));
+        if (!fuzz::writeCorpusKernel(path,
+                                     compiler::compile(gen.program, o0))) {
+            std::fprintf(stderr, "cannot write %s\n", path);
+            return 1;
+        }
+        std::printf("corpus: %s\n", path);
+        missing.erase(gen.bug_class);
+    }
+    if (!missing.empty()) {
+        std::fprintf(stderr, "could not cover every bug class\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fuzz::FuzzConfig config;
+    fuzz::applyEnv(config);
+    bool expect_findings = false;
+    std::string seed_corpus_dir;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--seed") == 0) {
+            config.seed = std::strtoull(value(), nullptr, 0);
+        } else if (std::strcmp(arg, "--budget") == 0) {
+            config.budget = std::atoi(value());
+        } else if (std::strcmp(arg, "--plant-bug") == 0) {
+            config.harness.plant_engine_bug = true;
+            expect_findings = true;
+        } else if (std::strcmp(arg, "--write-corpus") == 0) {
+            config.corpus_out_dir = value();
+        } else if (std::strcmp(arg, "--seed-corpus") == 0) {
+            seed_corpus_dir = value();
+        } else if (std::strcmp(arg, "--no-minimize") == 0) {
+            config.minimize = false;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", arg);
+            return 2;
+        }
+    }
+
+    if (!seed_corpus_dir.empty())
+        return seedCorpus(seed_corpus_dir, config);
+
+    std::printf("fuzz: seed=0x%llx budget=%d\n",
+                static_cast<unsigned long long>(config.seed),
+                config.budget);
+    fuzz::FuzzReport report = fuzz::runFuzz(config);
+
+    std::printf("fuzz: programs=%d pass=%d verifier-reject=%d "
+                "compile-reject=%d divergence=%d crash=%d\n",
+                report.programs, report.passes, report.verifier_rejects,
+                report.compile_rejects, report.divergences,
+                report.crashes);
+    std::printf("fuzz: generator-errors=%d unexpected-valid=%d "
+                "microop-fallbacks=%d checksum=0x%llx\n",
+                report.generator_errors, report.unexpected_valid,
+                report.microop_fallbacks,
+                static_cast<unsigned long long>(report.checksum));
+    for (const fuzz::Finding &f : report.findings) {
+        std::printf("finding: %s class=%s leg=%s reduced=%d insts "
+                    "(%d shrink steps, %d tests)\n",
+                    fuzz::verdictName(f.verdict), f.bug_class.c_str(),
+                    f.failing_leg.c_str(), f.reduced_instructions,
+                    f.minimize_steps, f.minimize_tests);
+        std::printf("  detail: %s\n", f.detail.c_str());
+        std::printf("  repro:  %s\n", f.repro.c_str());
+    }
+
+    if (expect_findings) {
+        // Self-test mode: the planted engine bug MUST surface.
+        if (report.divergences == 0) {
+            std::printf("fuzz: FAIL - planted bug was not detected\n");
+            return 1;
+        }
+        std::printf("fuzz: planted bug detected, harness works\n");
+        return 0;
+    }
+    if (!report.clean()) {
+        std::printf("fuzz: FAIL\n");
+        return 1;
+    }
+    std::printf("fuzz: clean\n");
+    return 0;
+}

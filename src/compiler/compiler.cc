@@ -678,9 +678,13 @@ Lowering::lowerCopyAsync(const CopyAsyncInst &inst)
     const SharedTensor &dst = inst.dst;
     const GlobalTensor &src = inst.src;
     const int bits = dst->dtype.bits();
-    TILUS_FATAL_IF(bits % 8 != 0,
-                   "CopyAsync stages whole bytes: transform sub-byte "
-                   "weights to a byte-typed layout first (Section 7.2)");
+    // Shape constraints below are the program author's responsibility:
+    // reject cleanly (CompileError) so differential harnesses can tell
+    // "unsupported shape" apart from a compiler defect.
+    if (bits % 8 != 0)
+        throw CompileError(
+            "CopyAsync stages whole bytes: transform sub-byte weights "
+            "to a byte-typed layout first (Section 7.2)");
     const auto &tile = dst->shape;
     const int r = static_cast<int>(src->shape.size());
     const int rt = static_cast<int>(tile.size());
@@ -688,14 +692,16 @@ Lowering::lowerCopyAsync(const CopyAsyncInst &inst)
     const int lead = r - rt;
 
     const int64_t last = tile[rt - 1];
-    TILUS_FATAL_IF((last * bits) % 8 != 0,
-                   "CopyAsync tile rows must be whole bytes");
+    if ((last * bits) % 8 != 0)
+        throw CompileError("CopyAsync tile rows must be whole bytes");
     const int64_t row_bytes = last * bits / 8;
     int chunk = 16;
     while (chunk > 4 && row_bytes % chunk != 0)
         chunk /= 2;
-    TILUS_FATAL_IF(row_bytes % chunk != 0,
-                   "CopyAsync tile rows must be multiples of 4 bytes");
+    if (row_bytes % chunk != 0)
+        throw CompileError(
+            "CopyAsync tile rows must be multiples of 4 bytes (got " +
+            std::to_string(row_bytes) + ")");
     int64_t rows = 1;
     for (int d = 0; d + 1 < rt; ++d)
         rows *= tile[d];

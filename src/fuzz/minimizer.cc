@@ -1,0 +1,396 @@
+#include "fuzz/minimizer.h"
+
+#include <optional>
+#include <vector>
+
+#include "ir/verifier.h"
+#include "support/error.h"
+
+namespace tilus {
+namespace fuzz {
+
+namespace {
+
+using ir::Stmt;
+using ir::StmtKind;
+
+/**
+ * Edit decision for the statement at one preorder index: nullopt keeps
+ * the node (children are rebuilt recursively), a vector splices the
+ * replacement statements in its place (empty = drop).
+ */
+using Edit =
+    std::function<std::optional<std::vector<Stmt>>(int, const Stmt &)>;
+
+int
+subtreeSize(const Stmt &s)
+{
+    int n = 1;
+    switch (s->kind()) {
+      case StmtKind::kSeq:
+        for (const Stmt &sub : static_cast<const ir::SeqStmt &>(*s).stmts)
+            n += subtreeSize(sub);
+        break;
+      case StmtKind::kIf: {
+        const auto &node = static_cast<const ir::IfStmt &>(*s);
+        n += subtreeSize(node.then_body);
+        if (node.else_body)
+            n += subtreeSize(node.else_body);
+        break;
+      }
+      case StmtKind::kFor:
+        n += subtreeSize(static_cast<const ir::ForStmt &>(*s).body);
+        break;
+      case StmtKind::kWhile:
+        n += subtreeSize(static_cast<const ir::WhileStmt &>(*s).body);
+        break;
+      default:
+        break;
+    }
+    return n;
+}
+
+Stmt
+wrapSeq(std::vector<Stmt> stmts)
+{
+    if (stmts.size() == 1)
+        return stmts[0];
+    return ir::seq(std::move(stmts));
+}
+
+/**
+ * Rebuild @p s under @p fn. @p idx advances in preorder over the
+ * *original* tree — including through replaced or dropped subtrees — so
+ * one indexing stays valid for a whole pass regardless of edits.
+ */
+std::vector<Stmt>
+rebuildList(const Stmt &s, const Edit &fn, int &idx)
+{
+    const int my = idx++;
+    std::optional<std::vector<Stmt>> edit = fn(my, s);
+    if (edit.has_value()) {
+        idx += subtreeSize(s) - 1;
+        return *edit;
+    }
+    switch (s->kind()) {
+      case StmtKind::kSeq: {
+        std::vector<Stmt> out;
+        for (const Stmt &sub : static_cast<const ir::SeqStmt &>(*s).stmts) {
+            std::vector<Stmt> r = rebuildList(sub, fn, idx);
+            out.insert(out.end(), r.begin(), r.end());
+        }
+        return {ir::seq(std::move(out))};
+      }
+      case StmtKind::kIf: {
+        const auto &node = static_cast<const ir::IfStmt &>(*s);
+        Stmt then_body = wrapSeq(rebuildList(node.then_body, fn, idx));
+        Stmt else_body;
+        if (node.else_body)
+            else_body = wrapSeq(rebuildList(node.else_body, fn, idx));
+        return {std::make_shared<ir::IfStmt>(node.cond, then_body,
+                                             else_body)};
+      }
+      case StmtKind::kFor: {
+        const auto &node = static_cast<const ir::ForStmt &>(*s);
+        Stmt body = wrapSeq(rebuildList(node.body, fn, idx));
+        return {std::make_shared<ir::ForStmt>(node.var, node.extent,
+                                              body)};
+      }
+      case StmtKind::kWhile: {
+        const auto &node = static_cast<const ir::WhileStmt &>(*s);
+        Stmt body = wrapSeq(rebuildList(node.body, fn, idx));
+        return {std::make_shared<ir::WhileStmt>(node.cond, body)};
+      }
+      default:
+        return {s};
+    }
+}
+
+ir::Program
+applyEdit(const ir::Program &p, const Edit &fn)
+{
+    ir::Program out = p;
+    int idx = 0;
+    out.body = wrapSeq(rebuildList(p.body, fn, idx));
+    return out;
+}
+
+/** Per-index facts gathered in one walk (drives the shrink passes). */
+struct NodeInfo
+{
+    StmtKind kind;
+    bool const_extent = false; ///< For with constant extent / Assign
+                               ///< with constant value
+    int64_t cvalue = 0;
+};
+
+void
+collectInfo(const Stmt &s, std::vector<NodeInfo> &out)
+{
+    NodeInfo info{s->kind(), false, 0};
+    switch (s->kind()) {
+      case StmtKind::kFor: {
+        const auto &node = static_cast<const ir::ForStmt &>(*s);
+        if (node.extent->kind() == ir::ExprKind::kConst) {
+            info.const_extent = true;
+            info.cvalue =
+                static_cast<const ir::ConstNode &>(*node.extent).ivalue;
+        }
+        out.push_back(info);
+        collectInfo(node.body, out);
+        break;
+      }
+      case StmtKind::kAssign: {
+        const auto &node = static_cast<const ir::AssignStmt &>(*s);
+        if (node.value->kind() == ir::ExprKind::kConst) {
+            info.const_extent = true;
+            info.cvalue =
+                static_cast<const ir::ConstNode &>(*node.value).ivalue;
+        }
+        out.push_back(info);
+        break;
+      }
+      case StmtKind::kSeq:
+        out.push_back(info);
+        for (const Stmt &sub : static_cast<const ir::SeqStmt &>(*s).stmts)
+            collectInfo(sub, out);
+        break;
+      case StmtKind::kIf: {
+        const auto &node = static_cast<const ir::IfStmt &>(*s);
+        out.push_back(info);
+        collectInfo(node.then_body, out);
+        if (node.else_body)
+            collectInfo(node.else_body, out);
+        break;
+      }
+      case StmtKind::kWhile:
+        out.push_back(info);
+        collectInfo(static_cast<const ir::WhileStmt &>(*s).body, out);
+        break;
+      default:
+        out.push_back(info);
+        break;
+    }
+}
+
+void
+countLeaves(const Stmt &s, int &n)
+{
+    switch (s->kind()) {
+      case StmtKind::kSeq:
+        for (const Stmt &sub : static_cast<const ir::SeqStmt &>(*s).stmts)
+            countLeaves(sub, n);
+        break;
+      case StmtKind::kIf: {
+        const auto &node = static_cast<const ir::IfStmt &>(*s);
+        countLeaves(node.then_body, n);
+        if (node.else_body)
+            countLeaves(node.else_body, n);
+        break;
+      }
+      case StmtKind::kFor:
+        countLeaves(static_cast<const ir::ForStmt &>(*s).body, n);
+        break;
+      case StmtKind::kWhile:
+        countLeaves(static_cast<const ir::WhileStmt &>(*s).body, n);
+        break;
+      default:
+        ++n;
+        break;
+    }
+}
+
+/** Shared accept/reject bookkeeping of all passes. */
+struct Shrinker
+{
+    const FailurePredicate &still_fails;
+    const int max_tests;
+    MinimizeResult result;
+
+    bool
+    budgetLeft() const
+    {
+        return result.tests < max_tests;
+    }
+
+    /** Test a candidate; adopt it when it verifies and still fails. */
+    bool
+    accept(const ir::Program &candidate)
+    {
+        try {
+            ir::verify(candidate);
+        } catch (const TilusError &) {
+            return false; // invalid shrink, not counted against budget
+        }
+        if (!budgetLeft())
+            return false;
+        ++result.tests;
+        if (!still_fails(candidate))
+            return false;
+        result.program = candidate;
+        ++result.steps;
+        return true;
+    }
+};
+
+/** ddmin over the statement tree: drop windows, halving the size. */
+bool
+deltaPass(Shrinker &sh)
+{
+    bool progressed = false;
+    int n = subtreeSize(sh.result.program.body);
+    for (int size = std::max(1, n / 2); size >= 1; size /= 2) {
+        for (int lo = 1; lo < n && sh.budgetLeft();) {
+            const int hi = lo + size;
+            ir::Program candidate = applyEdit(
+                sh.result.program,
+                [&](int i, const Stmt &) -> std::optional<std::vector<Stmt>> {
+                    if (i >= lo && i < hi && i != 0)
+                        return std::vector<Stmt>{};
+                    return std::nullopt;
+                });
+            if (sh.accept(candidate)) {
+                progressed = true;
+                n = subtreeSize(sh.result.program.body);
+                // Window indices changed; rescan from the same spot.
+                continue;
+            }
+            lo += size;
+        }
+        if (size == 1)
+            break;
+    }
+    return progressed;
+}
+
+/** Replace control statements (for/while/if) by their bodies. */
+bool
+unwrapPass(Shrinker &sh)
+{
+    bool progressed = false;
+    for (int target = 1; sh.budgetLeft(); ++target) {
+        std::vector<NodeInfo> info;
+        collectInfo(sh.result.program.body, info);
+        if (target >= static_cast<int>(info.size()))
+            break;
+        const StmtKind kind = info[target].kind;
+        if (kind != StmtKind::kFor && kind != StmtKind::kWhile &&
+            kind != StmtKind::kIf)
+            continue;
+        ir::Program candidate = applyEdit(
+            sh.result.program,
+            [&](int i, const Stmt &s) -> std::optional<std::vector<Stmt>> {
+                if (i != target)
+                    return std::nullopt;
+                switch (s->kind()) {
+                  case StmtKind::kFor:
+                    return std::vector<Stmt>{
+                        static_cast<const ir::ForStmt &>(*s).body};
+                  case StmtKind::kWhile:
+                    return std::vector<Stmt>{
+                        static_cast<const ir::WhileStmt &>(*s).body};
+                  case StmtKind::kIf: {
+                    const auto &node = static_cast<const ir::IfStmt &>(*s);
+                    std::vector<Stmt> repl = {node.then_body};
+                    if (node.else_body)
+                        repl.push_back(node.else_body);
+                    return repl;
+                  }
+                  default:
+                    return std::nullopt;
+                }
+            });
+        progressed |= sh.accept(candidate);
+    }
+    return progressed;
+}
+
+/** Shrink constant loop extents, assigned constants, and grid dims. */
+bool
+shrinkPass(Shrinker &sh)
+{
+    bool progressed = false;
+    std::vector<NodeInfo> info;
+    collectInfo(sh.result.program.body, info);
+    for (int target = 1;
+         target < static_cast<int>(info.size()) && sh.budgetLeft();
+         ++target) {
+        if (!info[target].const_extent)
+            continue;
+        const bool is_for = info[target].kind == StmtKind::kFor;
+        const int64_t current = info[target].cvalue;
+        const int64_t floor_value = is_for ? 1 : 0;
+        for (int64_t trial : {floor_value, current / 2}) {
+            if (trial >= current || trial < floor_value)
+                continue;
+            ir::Program candidate = applyEdit(
+                sh.result.program,
+                [&](int i,
+                    const Stmt &s) -> std::optional<std::vector<Stmt>> {
+                    if (i != target)
+                        return std::nullopt;
+                    if (s->kind() == StmtKind::kFor) {
+                        const auto &node =
+                            static_cast<const ir::ForStmt &>(*s);
+                        return std::vector<Stmt>{
+                            std::make_shared<ir::ForStmt>(
+                                node.var, ir::constInt(trial),
+                                node.body)};
+                    }
+                    const auto &node =
+                        static_cast<const ir::AssignStmt &>(*s);
+                    return std::vector<Stmt>{
+                        std::make_shared<ir::AssignStmt>(
+                            node.var, ir::constInt(trial))};
+                });
+            if (sh.accept(candidate)) {
+                progressed = true;
+                break;
+            }
+        }
+    }
+    // Grid dimensions toward 1.
+    for (size_t d = 0; d < sh.result.program.grid.size() && sh.budgetLeft();
+         ++d) {
+        const ir::Expr &dim = sh.result.program.grid[d];
+        if (dim->kind() != ir::ExprKind::kConst ||
+            static_cast<const ir::ConstNode &>(*dim).ivalue <= 1)
+            continue;
+        ir::Program candidate = sh.result.program;
+        candidate.grid[d] = ir::constInt(1);
+        progressed |= sh.accept(candidate);
+    }
+    return progressed;
+}
+
+} // namespace
+
+int
+countInstructions(const ir::Program &p)
+{
+    int n = 0;
+    if (p.body)
+        countLeaves(p.body, n);
+    return n;
+}
+
+MinimizeResult
+minimizeProgram(const ir::Program &program,
+                const FailurePredicate &still_fails, int max_tests)
+{
+    Shrinker sh{still_fails, max_tests, {}};
+    sh.result.program = program;
+    // Passes loop to a fixpoint: unwrapping exposes new droppable
+    // statements, dropping exposes new shrinkable constants.
+    bool progressed = true;
+    while (progressed && sh.budgetLeft()) {
+        progressed = false;
+        progressed |= deltaPass(sh);
+        progressed |= unwrapPass(sh);
+        progressed |= shrinkPass(sh);
+    }
+    return sh.result;
+}
+
+} // namespace fuzz
+} // namespace tilus

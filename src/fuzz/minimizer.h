@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Automatic test-case minimizer for fuzz findings.
+ *
+ * Given a failing program and a predicate ("does this candidate still
+ * fail?" — normally a re-run of the six-leg harness), the minimizer
+ * shrinks the program while preserving the failure:
+ *
+ *   1. delta-debug the statement tree: drop chunks of statements
+ *      (halving chunk size down to single statements, ddmin-style);
+ *   2. unwrap control flow: replace a for/while/if statement by its
+ *      body;
+ *   3. shrink constants: loop extents and grid dimensions toward 1,
+ *      assigned scalar constants toward 0.
+ *
+ * The passes repeat until a fixpoint (or the test budget runs out).
+ * Every candidate must pass ir::verify before the predicate runs —
+ * dropping a tensor definition invalidates its uses, and such
+ * candidates are skipped, not tested. The minimizer never rebuilds
+ * expressions *inside* tensor descriptors (GlobalTensorNode shape/ptr):
+ * instructions share those nodes by pointer, and cloning one would
+ * silently break the identity the compiler relies on.
+ *
+ * Determinism: the walk order is fixed, so the same input program and
+ * predicate reduce to the same output.
+ */
+#pragma once
+
+#include <functional>
+
+#include "ir/program.h"
+
+namespace tilus {
+namespace fuzz {
+
+/** Returns true when the candidate still reproduces the failure. */
+using FailurePredicate = std::function<bool(const ir::Program &)>;
+
+struct MinimizeResult
+{
+    ir::Program program; ///< smallest failing program found
+    int steps = 0;       ///< accepted shrink steps
+    int tests = 0;       ///< predicate evaluations spent
+};
+
+/**
+ * Shrink @p program while @p still_fails holds. @p max_tests bounds the
+ * number of predicate evaluations (each is a full harness run).
+ */
+MinimizeResult minimizeProgram(const ir::Program &program,
+                               const FailurePredicate &still_fails,
+                               int max_tests = 600);
+
+/** Leaf statements (instructions, assigns, break/continue) in @p p. */
+int countInstructions(const ir::Program &p);
+
+} // namespace fuzz
+} // namespace tilus

@@ -34,6 +34,13 @@ class Verifier
                "grid must have 1-3 dimensions");
         for (const Var &p : prog_.params)
             scalars_.insert(p.id());
+        for (const Expr &dim : prog_.grid) {
+            checkExpr(dim);
+            if (dim->kind() == ExprKind::kConst)
+                VERIFY(static_cast<const ConstNode &>(*dim).ivalue >= 1,
+                       "grid dimension must be >= 1, got "
+                           << static_cast<const ConstNode &>(*dim).ivalue);
+        }
         visit(prog_.body, 0);
     }
 
@@ -57,6 +64,10 @@ class Verifier
           case StmtKind::kFor: {
             const auto &node = static_cast<const ForStmt &>(*s);
             checkExpr(node.extent);
+            if (node.extent->kind() == ExprKind::kConst)
+                VERIFY(static_cast<const ConstNode &>(*node.extent).ivalue >=
+                           0,
+                       "for loop with negative constant extent");
             scalars_.insert(node.var.id());
             visit(node.body, loop_depth + 1);
             break;
@@ -166,8 +177,44 @@ class Verifier
         VERIFY(offset.size() == rank,
                what << ": offset rank " << offset.size()
                     << " != tensor rank " << rank);
-        for (const Expr &e : offset)
+        for (const Expr &e : offset) {
             checkExpr(e);
+            if (e->kind() == ExprKind::kConst)
+                VERIFY(static_cast<const ConstNode &>(*e).ivalue >= 0,
+                       what << ": negative constant offset "
+                            << static_cast<const ConstNode &>(*e).ivalue);
+        }
+    }
+
+    /**
+     * Static bounds check against a statically shaped tensor (shared
+     * memory): when every offset is a constant, the tile — indexing the
+     * trailing dimensions, as in lowering — must fit inside the shape.
+     * Dynamic offsets cannot be checked here; those stay a runtime
+     * concern of the simulator. Fuzz-hardening: an out-of-bounds shared
+     * access used to surface as an engine panic ("lds outside shared
+     * memory"), which the differential fuzzer could not tell apart from
+     * a genuine engine bug.
+     */
+    void
+    checkStaticBounds(const std::vector<Expr> &offset,
+                      const std::vector<int64_t> &tile,
+                      const std::vector<int64_t> &shape, const char *what)
+    {
+        for (const Expr &e : offset)
+            if (e->kind() != ExprKind::kConst)
+                return;
+        const size_t lead = shape.size() - tile.size();
+        for (size_t d = 0; d < shape.size(); ++d) {
+            int64_t last =
+                static_cast<const ConstNode &>(*offset[d]).ivalue;
+            if (d >= lead)
+                last += tile[d - lead] - 1;
+            VERIFY(last < shape[d],
+                   what << ": tile exceeds tensor extent in dim " << d
+                        << " (last index " << last << ", extent "
+                        << shape[d] << ")");
+        }
     }
 
     /** Broadcast rule: b's extent must match a's or be 1, per dim. */
@@ -215,6 +262,13 @@ class Verifier
           case InstKind::kAllocateShared: {
             const auto &node = static_cast<const AllocateSharedInst &>(inst);
             VERIFY(node.out->byteSize() > 0, "empty shared tensor");
+            // Lowering stages sub-byte tiles through byte-typed shared
+            // buffers; a sub-byte shared tensor would only panic later in
+            // the compiler, so reject it here with a proper VerifyError.
+            VERIFY(node.out->dtype.bits() % 8 == 0,
+                   "sub-byte shared tensor '"
+                       << node.out->name << "' (" << node.out->dtype.name()
+                       << "): stage sub-byte data as bytes");
             shareds_.insert(node.out->id);
             break;
           }
@@ -244,6 +298,11 @@ class Verifier
             const auto &node = static_cast<const LoadSharedInst &>(inst);
             useShared(node.src);
             checkOffsets(node.offset, node.src->shape.size(), "LoadShared");
+            VERIFY(node.out->layout.rank() <=
+                       static_cast<int>(node.src->shape.size()),
+                   "LoadShared: layout rank exceeds shared tensor rank");
+            checkStaticBounds(node.offset, node.out->shape(),
+                              node.src->shape, "LoadShared");
             VERIFY(node.out->dtype == node.src->dtype,
                    "LoadShared: dtype mismatch");
             defineOrInPlace(node.out);
@@ -255,6 +314,8 @@ class Verifier
             useGlobal(node.dst);
             checkOffsets(node.offset, node.dst->shape.size(),
                          "StoreGlobal");
+            VERIFY(node.src->layout.rank() <= node.dst->rank(),
+                   "StoreGlobal: layout rank exceeds global tensor rank");
             VERIFY(node.src->dtype == node.dst->dtype,
                    "StoreGlobal: dtype mismatch");
             break;
@@ -265,6 +326,11 @@ class Verifier
             useShared(node.dst);
             checkOffsets(node.offset, node.dst->shape.size(),
                          "StoreShared");
+            VERIFY(node.src->layout.rank() <=
+                       static_cast<int>(node.dst->shape.size()),
+                   "StoreShared: layout rank exceeds shared tensor rank");
+            checkStaticBounds(node.offset, node.src->shape(),
+                              node.dst->shape, "StoreShared");
             VERIFY(node.src->dtype == node.dst->dtype,
                    "StoreShared: dtype mismatch");
             break;

@@ -118,9 +118,54 @@ devicesIdentical(sim::Device &a, sim::Device &b, int64_t bytes,
     return true;
 }
 
+NwayReport
+diffLegs(const std::vector<OracleLeg> &legs, const OracleConfig &config)
+{
+    NwayReport report;
+    report.stats.resize(legs.size());
+    TILUS_CHECK_MSG(!legs.empty(), "diffLegs needs at least one leg");
+
+    // Reference leg: kept alive so every later leg compares against it.
+    sim::Device dev_ref(config.device_bytes);
+    try {
+        report.stats[0] =
+            runSeeded(*legs[0].kernel, config, dev_ref, legs[0].engine);
+    } catch (const TilusError &e) {
+        report.crashed = true;
+        report.failing_leg = legs[0].name;
+        report.detail = std::string("execution failed: ") + e.what();
+        return report;
+    }
+
+    // Every other leg runs on its own identically seeded device and is
+    // byte-compared against the reference, one at a time (so memory
+    // stays at two devices regardless of N).
+    for (size_t i = 1; i < legs.size(); ++i) {
+        sim::Device dev(config.device_bytes);
+        try {
+            report.stats[i] =
+                runSeeded(*legs[i].kernel, config, dev, legs[i].engine);
+        } catch (const TilusError &e) {
+            report.crashed = true;
+            report.failing_leg = legs[i].name;
+            report.detail = std::string("execution failed: ") + e.what();
+            return report;
+        }
+        std::string detail;
+        if (!devicesIdentical(dev_ref, dev, config.device_bytes,
+                              &detail)) {
+            report.failing_leg = legs[i].name;
+            report.detail = detail;
+            return report;
+        }
+    }
+    report.identical = true;
+    return report;
+}
+
 namespace {
 
-/** Shared tail of both diff flavours: run both sides and compare DRAM. */
+/** Shared tail of both pairwise flavours: a two-leg diffLegs run. */
 OracleReport
 diffRuns(const lir::Kernel &reference, sim::Engine ref_engine,
          const lir::Kernel &candidate, sim::Engine cand_engine,
@@ -130,21 +175,13 @@ diffRuns(const lir::Kernel &reference, sim::Engine ref_engine,
     report.listing_ref = lir::printKernel(reference);
     report.listing_opt = lir::printKernel(candidate);
 
-    sim::Device dev_ref(config.device_bytes);
-    sim::Device dev_opt(config.device_bytes);
-    try {
-        report.stats_ref = runSeeded(reference, config, dev_ref,
-                                     ref_engine);
-        report.stats_opt = runSeeded(candidate, config, dev_opt,
-                                     cand_engine);
-    } catch (const TilusError &e) {
-        report.identical = false;
-        report.detail = std::string("execution failed: ") + e.what();
-        return report;
-    }
-    report.identical = devicesIdentical(dev_ref, dev_opt,
-                                        config.device_bytes,
-                                        &report.detail);
+    NwayReport nway = diffLegs({{"reference", &reference, ref_engine},
+                                {"candidate", &candidate, cand_engine}},
+                               config);
+    report.identical = nway.identical;
+    report.detail = nway.detail;
+    report.stats_ref = nway.stats[0];
+    report.stats_opt = nway.stats[1];
     return report;
 }
 

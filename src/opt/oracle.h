@@ -59,6 +59,50 @@ struct OracleReport
 };
 
 /**
+ * One execution leg of an N-way differential run: a kernel plus the
+ * engine that executes it. Legs of one run must agree on parameters
+ * (they do when every kernel comes from compiler::compile — or a
+ * cache round-trip — of one program).
+ */
+struct OracleLeg
+{
+    std::string name; ///< e.g. "O2/microop/roundtrip" (for reports)
+    const lir::Kernel *kernel = nullptr;
+    sim::Engine engine = sim::Engine::kAuto;
+};
+
+/** Outcome of an N-way differential run (diffLegs). */
+struct NwayReport
+{
+    /** Every leg's DRAM matched leg 0 byte for byte. */
+    bool identical = false;
+
+    /** True when some leg threw instead of finishing. */
+    bool crashed = false;
+
+    /** Name of the first leg that diverged or crashed ("" if none). */
+    std::string failing_leg;
+
+    /** First mismatching byte, or the thrown error. */
+    std::string detail;
+
+    /** Per-leg run statistics, index-aligned with the input legs.
+        Legs after a crash are not run and keep default stats. */
+    std::vector<sim::SimStats> stats;
+};
+
+/**
+ * Run N legs of the same program differentially: leg 0 is the
+ * reference; every other leg executes on a separately constructed but
+ * identically seeded device and the whole DRAM is byte-compared
+ * against the reference. Stops at the first crash or divergence.
+ * This is the fuzzing harness's oracle (src/fuzz/harness.h); the
+ * pairwise flavours below are thin wrappers over it.
+ */
+NwayReport diffLegs(const std::vector<OracleLeg> &legs,
+                    const OracleConfig &config = {});
+
+/**
  * Run two compiled kernels of the *same program* differentially; the
  * kernels must agree on parameters (they do when both come from
  * compiler::compile on one program).

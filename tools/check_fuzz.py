@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate the checked-in fuzz regression corpus (tests/corpus/).
+
+Each *.lirk file is a serialized O0 lir::Kernel in the cache blob
+format (src/cache/blob_store.h): a 24-byte little-endian header
+{magic u32, version u32, payload size u64, payload hash u64} followed
+by the payload. This script re-implements the payload hash (the low
+64 bits of the two-lane Hasher digest, src/cache/fingerprint.h) and
+checks, without building anything:
+
+  * header magic is "TLFZ" (0x544c465a) and version matches
+    kCacheFormatVersion;
+  * the size field equals the actual payload length (no truncation);
+  * the payload hash matches (no bit rot);
+  * file names follow <bug-class>_<hex seed>.lirk and every generator
+    bug class (layout, masking, sync, dtype, control) is represented.
+
+Functional re-verification — running every corpus kernel through the
+six differential legs {O0, O2} x {treewalk, microop} x {direct,
+round-tripped} — needs the built tree and lives in
+tests/test_fuzz.cc (Fuzz.CheckedInCorpusPassesSixWay); this script is
+the no-build half wired into the CI docs job.
+
+Exit status: 0 when the corpus is sound, 1 otherwise. Run from
+anywhere:
+
+    python3 tools/check_fuzz.py [repo_root]
+"""
+import os
+import re
+import struct
+import sys
+
+CORPUS_MAGIC = 0x544C465A  # "TLFZ"
+FORMAT_VERSION = 1
+HEADER = struct.Struct("<IIQQ")  # magic, version, payload size, hash
+
+BUG_CLASSES = ("layout", "masking", "sync", "dtype", "control")
+NAME_RE = re.compile(r"^(%s)_[0-9a-f]+\.lirk$" % "|".join(BUG_CLASSES))
+
+MASK = (1 << 64) - 1
+
+
+def payload_hash(data):
+    """Low 64 bits of cache::Hasher's digest over `data`."""
+    a = 0xCBF29CE484222325
+    b = 0x2545F4914F6CDD1D
+    for byte in data:
+        a = ((a ^ byte) * 0x100000001B3) & MASK
+        b ^= (byte + 0x9E3779B97F4A7C15 + ((b << 6) & MASK) + (b >> 2)) & MASK
+        b = (((b << 23) | (b >> 41)) & MASK) * 0xC4CEB9FE1A85EC53 & MASK
+
+    def mix(v):
+        v ^= v >> 33
+        v = (v * 0xFF51AFD7ED558CCD) & MASK
+        v ^= v >> 33
+        v = (v * 0xC4CEB9FE1A85EC53) & MASK
+        v ^= v >> 33
+        return v
+
+    rotl32 = ((b << 32) | (b >> 32)) & MASK
+    return mix(a ^ rotl32)
+
+
+def check_file(path, errors):
+    name = os.path.basename(path)
+    if not NAME_RE.match(name):
+        errors.append("%s: name is not <bug-class>_<hex seed>.lirk" % name)
+    with open(path, "rb") as f:
+        blob = f.read()
+    if len(blob) < HEADER.size:
+        errors.append("%s: truncated header (%d bytes)" % (name, len(blob)))
+        return None
+    magic, version, size, digest = HEADER.unpack_from(blob)
+    payload = blob[HEADER.size:]
+    if magic != CORPUS_MAGIC:
+        errors.append("%s: bad magic 0x%08x" % (name, magic))
+    if version != FORMAT_VERSION:
+        errors.append("%s: version %d != %d" % (name, version, FORMAT_VERSION))
+    if size != len(payload):
+        errors.append("%s: size field %d != payload %d"
+                      % (name, size, len(payload)))
+    if digest != payload_hash(payload):
+        errors.append("%s: payload hash mismatch" % name)
+    return name.split("_", 1)[0]
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else \
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    corpus = os.path.join(root, "tests", "corpus")
+    if not os.path.isdir(corpus):
+        print("missing corpus directory: %s" % corpus)
+        return 1
+    errors = []
+    classes = set()
+    count = 0
+    for name in sorted(os.listdir(corpus)):
+        if not name.endswith(".lirk"):
+            continue
+        count += 1
+        cls = check_file(os.path.join(corpus, name), errors)
+        if cls:
+            classes.add(cls)
+    missing = [c for c in BUG_CLASSES if c not in classes]
+    if missing:
+        errors.append("bug classes without a corpus kernel: %s"
+                      % ", ".join(missing))
+    if count == 0:
+        errors.append("corpus is empty")
+    for e in errors:
+        print(e)
+    if errors:
+        return 1
+    print("check_fuzz: %d corpus kernels OK (%s)"
+          % (count, ", ".join(sorted(classes))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
